@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Design-space ablations for the choices DESIGN.md calls out. Beyond
+ * the paper's topology study (Figs. 16/17), this sweeps:
+ *
+ *  - the width of the direct-port domain D0 (how many LS columns get
+ *    a dedicated memory port) — the paper's "optimize the placement
+ *    of load-store PEs" design-space exploration;
+ *  - token FIFO depth (ordered-dataflow buffering, Sec. 4.1);
+ *  - maximum outstanding memory requests per LS PE (load pipelining);
+ *  - shared-cache capacity (the 256 KiB memory-side cache, Sec. 6);
+ *  - the fabric clock divider (Sec. 4.2's ratio-synchronous crossing:
+ *    a slower fabric sees relatively faster memory).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace
+{
+
+using namespace nupea;
+using namespace nupea::bench;
+
+void
+sweepD0Width()
+{
+    std::printf("D0 width (direct-port LS columns), spmspv on "
+                "monaco-12x12:\n");
+    printRow("d0 cols", {"ports", "sys-cycles", "avg-lat"}, 10, 12);
+    for (int d0 : {1, 2, 3, 4, 6}) {
+        Topology topo = Topology::makeMonaco(12, 12, 3, d0);
+        CompiledWorkload cw =
+            compileWorkload("spmspv", topo, CompileOptions{});
+        BenchRun r = runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
+        printRow(std::to_string(d0),
+                 {std::to_string(topo.memPorts()),
+                  std::to_string(r.systemCycles),
+                  fmt(r.avgMemLatency, 2)},
+                 10, 12);
+    }
+    std::printf("\n");
+}
+
+void
+sweepFifoDepth()
+{
+    std::printf("token FIFO depth, spmspm on monaco-12x12:\n");
+    printRow("depth", {"sys-cycles"}, 10, 12);
+    Topology topo = Topology::makeMonaco(12, 12);
+    CompiledWorkload cw =
+        compileWorkload("spmspm", topo, CompileOptions{});
+    for (int depth : {1, 2, 4, 8}) {
+        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
+        cfg.fifoDepth = depth;
+        BenchRun r = runCompiled(cw, cfg);
+        printRow(std::to_string(depth),
+                 {std::to_string(r.systemCycles)}, 10, 12);
+    }
+    std::printf("\n");
+}
+
+void
+sweepOutstanding()
+{
+    std::printf("max outstanding requests per LS PE, dmv on "
+                "monaco-12x12:\n");
+    printRow("outst", {"sys-cycles"}, 10, 12);
+    Topology topo = Topology::makeMonaco(12, 12);
+    CompiledWorkload cw = compileWorkload("dmv", topo, CompileOptions{});
+    for (int outst : {1, 2, 4, 8}) {
+        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
+        cfg.maxOutstanding = outst;
+        BenchRun r = runCompiled(cw, cfg);
+        printRow(std::to_string(outst),
+                 {std::to_string(r.systemCycles)}, 10, 12);
+    }
+    std::printf("\n");
+}
+
+void
+sweepCacheSize()
+{
+    std::printf("shared-cache capacity, spmv on monaco-12x12:\n");
+    printRow("KiB", {"sys-cycles", "hit-rate"}, 10, 12);
+    Topology topo = Topology::makeMonaco(12, 12);
+    CompiledWorkload cw = compileWorkload("spmv", topo,
+                                          CompileOptions{});
+    for (std::size_t kib : {8u, 32u, 256u}) {
+        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
+        cfg.memsys.cache.sizeBytes = kib * 1024;
+
+        // Run manually to read cache stats.
+        BackingStore store(cfg.memsys.memBytes);
+        cw.workload->init(store);
+        Machine machine(cw.graph, cw.pnr.placement, cw.topo, cfg,
+                        store);
+        RunResult r = machine.run();
+        double hits =
+            static_cast<double>(r.stats.counterValue("mem.cache_hits"));
+        double total =
+            hits + static_cast<double>(
+                       r.stats.counterValue("mem.cache_misses"));
+        printRow(std::to_string(kib),
+                 {std::to_string(r.systemCycles),
+                  fmt(total > 0 ? hits / total : 0.0, 3)},
+                 10, 12);
+    }
+    std::printf("\n");
+}
+
+void
+sweepDivider()
+{
+    std::printf("fabric clock divider, spmspv on monaco-12x12 "
+                "(system cycles; memory runs on the system clock):\n");
+    printRow("divider", {"fab-cycles", "sys-cycles"}, 10, 12);
+    Topology topo = Topology::makeMonaco(12, 12);
+    CompiledWorkload cw =
+        compileWorkload("spmspv", topo, CompileOptions{});
+    for (int div : {1, 2, 3, 4}) {
+        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
+        cfg.clockDivider = div;
+        BenchRun r = runCompiled(cw, cfg);
+        printRow(std::to_string(div),
+                 {std::to_string(r.fabricCycles),
+                  std::to_string(r.systemCycles)},
+                 10, 12);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Design-space ablations (all runs functionally "
+                "verified)\n\n");
+    sweepD0Width();
+    sweepFifoDepth();
+    sweepOutstanding();
+    sweepCacheSize();
+    sweepDivider();
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Extension: data-movement energy comparison. The paper evaluates
+ * performance; its authors' broader agenda is energy-minimal
+ * computing, and NUPEA's shorter fabric-memory paths for hot loads
+ * also cut data-movement energy. This bench reports per-workload
+ * energy (abstract units, split compute/network/memory) and
+ * energy-delay product for Monaco versus the practical UPEA2 SDA.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace nupea;
+    using namespace nupea::bench;
+
+    Topology topo = Topology::makeMonaco(12, 12);
+
+    std::printf("Extension: data-movement energy, Monaco vs UPEA2 "
+                "(abstract units)\n\n");
+    printRow("app",
+             {"E(Monaco)", "E(UPEA2)", "E-ratio", "EDP-ratio"}, 10, 12);
+
+    std::vector<double> e_ratios, edp_ratios;
+    for (const auto &name : workloadNames()) {
+        CompiledWorkload cw = compileWorkload(name, topo,
+                                              CompileOptions{});
+
+        auto run_energy = [&](MemModel model, int lat, double &cycles) {
+            BackingStore store(MemSysConfig{}.memBytes);
+            cw.workload->init(store);
+            MachineConfig cfg = primaryConfig(model, lat);
+            Machine machine(cw.graph, cw.pnr.placement, cw.topo, cfg,
+                            store);
+            RunResult r = machine.run();
+            cycles = static_cast<double>(r.systemCycles);
+            return r.energy;
+        };
+
+        double monaco_cycles = 0, upea_cycles = 0;
+        EnergyBreakdown monaco =
+            run_energy(MemModel::Monaco, 0, monaco_cycles);
+        EnergyBreakdown upea =
+            run_energy(MemModel::Upea, 2, upea_cycles);
+
+        double e_ratio = upea.total() / monaco.total();
+        double edp_ratio = (upea.total() * upea_cycles) /
+                           (monaco.total() * monaco_cycles);
+        e_ratios.push_back(e_ratio);
+        edp_ratios.push_back(edp_ratio);
+        printRow(name, {fmt(monaco.total(), 0), fmt(upea.total(), 0),
+                        fmt(e_ratio), fmt(edp_ratio)},
+                 10, 12);
+    }
+
+    std::printf("\n");
+    printRow("geomean",
+             {"", "", fmt(geomean(e_ratios)), fmt(geomean(edp_ratios))},
+             10, 12);
+    std::printf("\n(E-ratio > 1: UPEA spends more energy; EDP folds "
+                "in the runtime advantage)\n");
+    return 0;
+}

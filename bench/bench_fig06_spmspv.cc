@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces Fig. 6c: spmspv on a UPEA fabric with 0-cycle latency
+ * (idealized), a practical UPEA fabric with 2-cycle latency, and the
+ * NUPEA fabric (Monaco). The paper reports UPEA2 ~32% slower than
+ * UPEA0 and NUPEA within ~1% of UPEA0.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace nupea;
+    using namespace nupea::bench;
+
+    Topology topo = Topology::makeMonaco(12, 12);
+    CompileOptions copts;
+    CompiledWorkload cw = compileWorkload("spmspv", topo, copts);
+
+    BenchRun upea0 = runCompiled(cw, primaryConfig(MemModel::Upea, 0));
+    BenchRun upea2 = runCompiled(cw, primaryConfig(MemModel::Upea, 2));
+    BenchRun nupea =
+        runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
+
+    std::printf("Fig. 6c: spmspv execution time, normalized to UPEA0 "
+                "(idealized)\n");
+    std::printf("(parallelism %d, %zu-node DFG, all runs verified: "
+                "%s)\n\n",
+                cw.parallelism, cw.graph.numNodes(),
+                (upea0.verified && upea2.verified && nupea.verified)
+                    ? "yes"
+                    : "NO");
+
+    auto base = static_cast<double>(upea0.systemCycles);
+    printRow("config", {"sys-cycles", "normalized"}, 10, 12);
+    printRow("UPEA0", {std::to_string(upea0.systemCycles), fmt(1.0, 3)});
+    printRow("UPEA2",
+             {std::to_string(upea2.systemCycles),
+              fmt(static_cast<double>(upea2.systemCycles) / base, 3)});
+    printRow("NUPEA",
+             {std::to_string(nupea.systemCycles),
+              fmt(static_cast<double>(nupea.systemCycles) / base, 3)});
+
+    std::printf("\npaper: UPEA2 ~1.32x UPEA0; NUPEA ~1.01x UPEA0\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Fig. 11: execution time of every workload on (i) an
+ * idealized UPEA SDA with 0-cycle PE access, (ii) a realistic UPEA
+ * SDA with 2-cycle access, (iii) a UPEA SDA with NUMA memory, and
+ * (iv) Monaco (NUPEA), normalized to Monaco. The paper reports
+ * Monaco avg 28% faster than UPEA, 20% faster than NUMA-UPEA, and
+ * within 21% of Ideal.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace nupea;
+    using namespace nupea::bench;
+
+    Topology topo = Topology::makeMonaco(12, 12);
+
+    std::printf("Fig. 11: execution time normalized to Monaco "
+                "(shorter = faster)\n\n");
+    printRow("app", {"Ideal", "UPEA", "NUMA-UPEA", "Monaco", "par",
+                     "verified"});
+
+    std::vector<double> ideal_r, upea_r, numa_r;
+    for (const auto &name : workloadNames()) {
+        CompiledWorkload cw = compileWorkload(name, topo,
+                                              CompileOptions{});
+        BenchRun monaco =
+            runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
+        BenchRun ideal =
+            runCompiled(cw, primaryConfig(MemModel::Upea, 0));
+        BenchRun upea =
+            runCompiled(cw, primaryConfig(MemModel::Upea, 2));
+        BenchRun numa =
+            runCompiled(cw, primaryConfig(MemModel::NumaUpea, 2));
+
+        auto m = static_cast<double>(monaco.systemCycles);
+        double ideal_n = static_cast<double>(ideal.systemCycles) / m;
+        double upea_n = static_cast<double>(upea.systemCycles) / m;
+        double numa_n = static_cast<double>(numa.systemCycles) / m;
+        ideal_r.push_back(ideal_n);
+        upea_r.push_back(upea_n);
+        numa_r.push_back(numa_n);
+
+        bool ok = monaco.verified && ideal.verified && upea.verified &&
+                  numa.verified;
+        printRow(name,
+                 {fmt(ideal_n), fmt(upea_n), fmt(numa_n), fmt(1.0),
+                  std::to_string(cw.parallelism), ok ? "yes" : "NO"});
+    }
+
+    std::printf("\n");
+    printRow("geomean", {fmt(geomean(ideal_r)), fmt(geomean(upea_r)),
+                         fmt(geomean(numa_r)), fmt(1.0)});
+    std::printf(
+        "\npaper: UPEA ~1.28x Monaco, NUMA-UPEA ~1.20x Monaco, "
+        "Ideal ~1/1.21x Monaco\n");
+    return 0;
+}

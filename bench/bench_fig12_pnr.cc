@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Fig. 12: speedup on Monaco attained by the NUPEA-aware
+ * PnR heuristics — Only-Domain-Aware and effcc (domain + criticality
+ * aware) over Domain-Unaware placement. The paper reports avg 16%
+ * for domain awareness alone and avg 25% for the full effcc
+ * heuristic.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace nupea;
+    using namespace nupea::bench;
+
+    Topology topo = Topology::makeMonaco(12, 12);
+
+    std::printf("Fig. 12: speedup over Domain-Unaware PnR on Monaco "
+                "(higher = better)\n\n");
+    printRow("app", {"DomUnaware", "OnlyDomain", "effcc"});
+
+    std::vector<double> domain_s, effcc_s;
+    for (const auto &name : workloadNames()) {
+        auto run_mode = [&](PlaceMode mode) {
+            CompileOptions copts;
+            copts.mode = mode;
+            CompiledWorkload cw = compileWorkload(name, topo, copts);
+            BenchRun r =
+                runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
+            if (!r.verified)
+                warn(name, " failed verification under ",
+                     placeModeName(mode));
+            return static_cast<double>(r.systemCycles);
+        };
+
+        double unaware = run_mode(PlaceMode::DomainUnaware);
+        double domain = run_mode(PlaceMode::DomainAware);
+        double effcc = run_mode(PlaceMode::CriticalityAware);
+
+        domain_s.push_back(unaware / domain);
+        effcc_s.push_back(unaware / effcc);
+        printRow(name, {fmt(1.0), fmt(unaware / domain),
+                        fmt(unaware / effcc)});
+    }
+
+    std::printf("\n");
+    printRow("geomean",
+             {fmt(1.0), fmt(geomean(domain_s)), fmt(geomean(effcc_s))});
+    std::printf("\npaper: Only-Domain-Aware ~1.16x, effcc ~1.25x over "
+                "Domain-Unaware\n");
+    return 0;
+}

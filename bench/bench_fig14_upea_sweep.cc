@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Fig. 14: NUPEA (Monaco) versus a sweep of UPEA SDAs
+ * with uniform PE-access latencies from 0 (ideal) to 4 cycles,
+ * normalized to Monaco. The paper reports near-linear degradation
+ * with UPEA delay: Monaco ~3% faster than UPEA1, 28% than UPEA2,
+ * 55% than UPEA3, 82% than UPEA4.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace nupea;
+    using namespace nupea::bench;
+
+    Topology topo = Topology::makeMonaco(12, 12);
+    constexpr int kMaxLatency = 4;
+
+    std::printf("Fig. 14: UPEA latency sweep, execution time "
+                "normalized to Monaco\n\n");
+    printRow("app", {"UPEA0", "UPEA1", "UPEA2", "UPEA3", "UPEA4",
+                     "Monaco"});
+
+    std::vector<std::vector<double>> ratios(kMaxLatency + 1);
+    for (const auto &name : workloadNames()) {
+        CompiledWorkload cw = compileWorkload(name, topo,
+                                              CompileOptions{});
+        BenchRun monaco =
+            runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
+        auto m = static_cast<double>(monaco.systemCycles);
+
+        std::vector<std::string> cells;
+        for (int n = 0; n <= kMaxLatency; ++n) {
+            BenchRun r =
+                runCompiled(cw, primaryConfig(MemModel::Upea, n));
+            double ratio = static_cast<double>(r.systemCycles) / m;
+            ratios[static_cast<std::size_t>(n)].push_back(ratio);
+            cells.push_back(fmt(ratio));
+        }
+        cells.push_back(fmt(1.0));
+        printRow(name, cells);
+    }
+
+    std::printf("\n");
+    std::vector<std::string> means;
+    for (int n = 0; n <= kMaxLatency; ++n)
+        means.push_back(fmt(geomean(ratios[static_cast<std::size_t>(n)])));
+    means.push_back(fmt(1.0));
+    printRow("geomean", means);
+    std::printf("\npaper: UPEA1 ~1.03x, UPEA2 ~1.28x, UPEA3 ~1.55x, "
+                "UPEA4 ~1.82x Monaco\n");
+    return 0;
+}

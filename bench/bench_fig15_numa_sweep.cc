@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Fig. 15: NUPEA (Monaco) versus a sweep of UPEA SDAs
+ * with NUMA memory, remote-access latencies 0 (ideal) to 4 cycles,
+ * normalized to Monaco. The paper reports NUMA recovers some of
+ * UPEA's loss but still degrades near-linearly: Monaco within 2% of
+ * NUMA-UPEA1, 20% better than NUMA-UPEA2, 44% than NUMA-UPEA3, 68%
+ * than NUMA-UPEA4.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace nupea;
+    using namespace nupea::bench;
+
+    Topology topo = Topology::makeMonaco(12, 12);
+    constexpr int kMaxLatency = 4;
+
+    std::printf("Fig. 15: NUMA-UPEA latency sweep, execution time "
+                "normalized to Monaco\n\n");
+    printRow("app", {"NUMA0", "NUMA1", "NUMA2", "NUMA3", "NUMA4",
+                     "Monaco"});
+
+    std::vector<std::vector<double>> ratios(kMaxLatency + 1);
+    for (const auto &name : workloadNames()) {
+        CompiledWorkload cw = compileWorkload(name, topo,
+                                              CompileOptions{});
+        BenchRun monaco =
+            runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
+        auto m = static_cast<double>(monaco.systemCycles);
+
+        std::vector<std::string> cells;
+        for (int n = 0; n <= kMaxLatency; ++n) {
+            BenchRun r =
+                runCompiled(cw, primaryConfig(MemModel::NumaUpea, n));
+            double ratio = static_cast<double>(r.systemCycles) / m;
+            ratios[static_cast<std::size_t>(n)].push_back(ratio);
+            cells.push_back(fmt(ratio));
+        }
+        cells.push_back(fmt(1.0));
+        printRow(name, cells);
+    }
+
+    std::printf("\n");
+    std::vector<std::string> means;
+    for (int n = 0; n <= kMaxLatency; ++n)
+        means.push_back(fmt(geomean(ratios[static_cast<std::size_t>(n)])));
+    means.push_back(fmt(1.0));
+    printRow("geomean", means);
+    std::printf("\npaper: NUMA-UPEA1 ~1.02x, NUMA-UPEA2 ~1.20x, "
+                "NUMA-UPEA3 ~1.44x, NUMA-UPEA4 ~1.68x Monaco\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces Fig. 16: spmspv execution time on Monaco versus the
+ * Clustered-Single (CS) and Clustered-Double (CD) NUPEA topologies
+ * at 8x8, 16x16, and 24x24 fabric sizes with 2 and 7 data-NoC
+ * tracks. effcc auto-parallelizes on each fabric. The paper shows
+ * the topologies competitive with plentiful tracks (7), but CS/CD
+ * collapsing at 2 tracks on large fabrics due to routing pressure.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace nupea;
+    using namespace nupea::bench;
+
+    std::printf("Fig. 16: spmspv execution time (system cycles) "
+                "across NUPEA topologies\n");
+    std::printf("(auto-parallelized per fabric; divider from PnR "
+                "static timing)\n\n");
+    printRow("config", {"8x8", "16x16", "24x24"}, 22, 14);
+
+    for (int tracks : {2, 7}) {
+        for (TopologyKind kind :
+             {TopologyKind::Monaco, TopologyKind::ClusteredSingle,
+              TopologyKind::ClusteredDouble}) {
+            std::vector<std::string> cells;
+            for (int size : {8, 16, 24}) {
+                Topology topo = Topology::make(kind, size, size, tracks);
+                // Best of two PnR seeds (the compiler's effort knob;
+                // smooths annealing noise in the small fabrics).
+                Cycle best_cycles = 0;
+                int best_par = 0, best_div = 0;
+                for (std::uint64_t seed : {1u, 2u}) {
+                    CompileOptions copts;
+                    copts.parallelism = -1; // force the automatic ramp
+                    copts.seed = seed;
+                    CompiledWorkload cw =
+                        compileWorkload("spmspv", topo, copts);
+                    MachineConfig cfg;
+                    cfg.mem.model = MemModel::Monaco;
+                    cfg.clockDivider = cw.pnr.timing.clockDivider;
+                    BenchRun r = runCompiled(cw, cfg);
+                    if (best_cycles == 0 ||
+                        r.systemCycles < best_cycles) {
+                        best_cycles = r.systemCycles;
+                        best_par = cw.parallelism;
+                        best_div = cw.pnr.timing.clockDivider;
+                    }
+                }
+                cells.push_back(formatMessage(best_cycles, "/p",
+                                              best_par, "/d",
+                                              best_div));
+            }
+            const char *kind_name =
+                kind == TopologyKind::Monaco
+                    ? "monaco"
+                    : (kind == TopologyKind::ClusteredSingle ? "CS"
+                                                             : "CD");
+            printRow(formatMessage(kind_name, " tracks=", tracks),
+                     cells, 22, 14);
+        }
+        std::printf("\n");
+    }
+    std::printf("(cells: system-cycles / parallelism chosen / clock "
+                "divider)\n");
+    std::printf("paper: with 2 tracks CS/CD degrade sharply at 16x16 "
+                "and 24x24; Monaco keeps scaling\n");
+    return 0;
+}

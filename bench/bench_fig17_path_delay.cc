@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Fig. 17: maximum (critical) path delay from PnR for
+ * spmspv on Monaco / Clustered-Single / Clustered-Double across
+ * fabric sizes, at 2 and 7 data-NoC tracks. The paper shows CS/CD
+ * needing significantly longer maximum path delay than Monaco at
+ * 2 tracks on large fabrics (and hence a worse clock divider).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int
+main()
+{
+    using namespace nupea;
+    using namespace nupea::bench;
+
+    std::printf("Fig. 17: spmspv max path delay from PnR (wire-delay "
+                "units) across NUPEA topologies\n\n");
+    printRow("config", {"8x8", "16x16", "24x24"}, 22, 14);
+
+    for (int tracks : {2, 7}) {
+        for (TopologyKind kind :
+             {TopologyKind::Monaco, TopologyKind::ClusteredSingle,
+              TopologyKind::ClusteredDouble}) {
+            std::vector<std::string> cells;
+            for (int size : {8, 16, 24}) {
+                Topology topo = Topology::make(kind, size, size, tracks);
+                // Best of two PnR seeds, matching Fig. 16's policy.
+                double best_delay = 0.0;
+                int best_par = 0;
+                for (std::uint64_t seed : {1u, 2u}) {
+                    CompileOptions copts;
+                    copts.parallelism = -1; // force the automatic ramp
+                    copts.seed = seed;
+                    CompiledWorkload cw =
+                        compileWorkload("spmspv", topo, copts);
+                    if (best_par == 0 ||
+                        cw.pnr.timing.maxPathDelay < best_delay) {
+                        best_delay = cw.pnr.timing.maxPathDelay;
+                        best_par = cw.parallelism;
+                    }
+                }
+                cells.push_back(formatMessage(fmt(best_delay, 1), "/p",
+                                              best_par));
+            }
+            const char *kind_name =
+                kind == TopologyKind::Monaco
+                    ? "monaco"
+                    : (kind == TopologyKind::ClusteredSingle ? "CS"
+                                                             : "CD");
+            printRow(formatMessage(kind_name, " tracks=", tracks),
+                     cells, 22, 14);
+        }
+        std::printf("\n");
+    }
+    std::printf("(cells: max path delay / parallelism chosen; delay "
+                "feeds the clock divider)\n");
+    std::printf("paper: at 2 tracks CS/CD need much longer max path "
+                "delay than Monaco at 24x24\n");
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the library's components:
+ * DFG construction, untimed interpretation, criticality analysis,
+ * SA placement, Pathfinder routing, the cache model, and end-to-end
+ * cycle-level simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compiler/pnr.h"
+#include "dfg/interp.h"
+#include "memory/cache.h"
+#include "sim/machine.h"
+#include "workloads/workload.h"
+
+namespace
+{
+
+using namespace nupea;
+
+void
+BM_BuildSpmspvGraph(benchmark::State &state)
+{
+    auto wl = makeWorkload("spmspv");
+    BackingStore store(MemSysConfig{}.memBytes);
+    wl->init(store);
+    for (auto _ : state) {
+        Graph g = wl->build(static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(g.numNodes());
+    }
+}
+BENCHMARK(BM_BuildSpmspvGraph)->Arg(1)->Arg(8);
+
+void
+BM_InterpArraySum(benchmark::State &state)
+{
+    auto wl = makeWorkload("dmv");
+    BackingStore proto(MemSysConfig{}.memBytes);
+    wl->init(proto);
+    Graph g = wl->build(1);
+    for (auto _ : state) {
+        state.PauseTiming();
+        BackingStore store(MemSysConfig{}.memBytes);
+        wl->init(store);
+        state.ResumeTiming();
+        Interp interp(g, store.raw());
+        auto r = interp.run();
+        benchmark::DoNotOptimize(r.firings);
+    }
+}
+BENCHMARK(BM_InterpArraySum);
+
+void
+BM_CriticalityAnalysis(benchmark::State &state)
+{
+    auto wl = makeWorkload("spmspm");
+    BackingStore store(MemSysConfig{}.memBytes);
+    wl->init(store);
+    Graph g = wl->build(8);
+    for (auto _ : state) {
+        auto stats = analyzeCriticality(g);
+        benchmark::DoNotOptimize(stats.critical);
+    }
+}
+BENCHMARK(BM_CriticalityAnalysis);
+
+void
+BM_Placement(benchmark::State &state)
+{
+    auto wl = makeWorkload("spmspv");
+    BackingStore store(MemSysConfig{}.memBytes);
+    wl->init(store);
+    Graph g = wl->build(4);
+    analyzeCriticality(g);
+    Topology topo = Topology::makeMonaco(12, 12);
+    PlacerOptions opts;
+    opts.iterationsPerNode = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        Placement p = placeGraph(g, topo, opts);
+        benchmark::DoNotOptimize(p.pos.size());
+    }
+}
+BENCHMARK(BM_Placement)->Arg(20)->Arg(80);
+
+void
+BM_Routing(benchmark::State &state)
+{
+    auto wl = makeWorkload("spmspv");
+    BackingStore store(MemSysConfig{}.memBytes);
+    wl->init(store);
+    Graph g = wl->build(4);
+    analyzeCriticality(g);
+    Topology topo =
+        Topology::makeMonaco(12, 12, static_cast<int>(state.range(0)));
+    Placement p = placeGraph(g, topo, PlacerOptions{});
+    for (auto _ : state) {
+        RouteResult r = routeGraph(g, topo, p);
+        benchmark::DoNotOptimize(r.maxNetDelay);
+    }
+}
+BENCHMARK(BM_Routing)->Arg(3)->Arg(7);
+
+void
+BM_CacheModel(benchmark::State &state)
+{
+    CacheModel cache(CacheConfig{});
+    Rng rng(7);
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        Addr addr = static_cast<Addr>(rng.below(1u << 22)) & ~3u;
+        sum += cache.access(addr, false).hit;
+    }
+    benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_CacheModel);
+
+void
+BM_MachineSimulation(benchmark::State &state)
+{
+    auto wl = makeWorkload("spmspv");
+    BackingStore proto(MemSysConfig{}.memBytes);
+    wl->init(proto);
+    Graph g = wl->build(4);
+    Topology topo = Topology::makeMonaco(12, 12);
+    PnrOptions popts;
+    popts.place.iterationsPerNode = 40;
+    PnrResult pnr = placeAndRoute(g, topo, popts);
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        state.PauseTiming();
+        BackingStore store(MemSysConfig{}.memBytes);
+        wl->init(store);
+        state.ResumeTiming();
+        Machine m(g, pnr.placement, topo, MachineConfig{}, store);
+        RunResult r = m.run();
+        cycles += r.fabricCycles;
+    }
+    state.counters["fabric_cycles_per_run"] =
+        static_cast<double>(cycles) /
+        static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_MachineSimulation);
+
+} // namespace
+
+BENCHMARK_MAIN();

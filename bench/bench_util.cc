@@ -1,0 +1,134 @@
+#include "bench/bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace nupea
+{
+namespace bench
+{
+
+CompiledWorkload
+compileWorkload(const std::string &name, const Topology &topo,
+                const CompileOptions &options)
+{
+    CompiledWorkload cw;
+    cw.workload = makeWorkload(name);
+    cw.topo = topo;
+
+    // Lay out memory once so the graph bakes in the right addresses.
+    BackingStore layout(MemSysConfig{}.memBytes);
+    cw.workload->init(layout);
+
+    PnrOptions popts;
+    popts.place.mode = options.mode;
+    popts.place.seed = options.seed;
+    popts.place.iterationsPerNode = options.saIterationsPerNode;
+
+    int preferred = options.parallelism > 0
+                        ? options.parallelism
+                        : cw.workload->preferredParallelism();
+    if (options.parallelism < 0)
+        preferred = 0; // force the automatic ramp
+    if (preferred > 0) {
+        // Hand-tuned degree (paper Sec. 6); back off while PnR fails.
+        for (int p = preferred; p >= 1; p /= 2) {
+            Graph g = cw.workload->build(p);
+            PnrResult pnr = placeAndRoute(g, topo, popts);
+            if (pnr.success) {
+                cw.graph = std::move(g);
+                cw.pnr = std::move(pnr);
+                cw.parallelism = p;
+                return cw;
+            }
+        }
+        fatal(name, " does not fit ", topo.name(),
+              " even at parallelism 1");
+    }
+
+    // Automatic ramp (tc, ad, ic, vww in the paper).
+    AutoParResult auto_par = compileWithAutoParallelism(
+        [&](int p) { return cw.workload->build(p); }, topo, popts);
+    cw.graph = std::move(auto_par.graph);
+    cw.pnr = std::move(auto_par.pnr);
+    cw.parallelism = auto_par.parallelism;
+    return cw;
+}
+
+BenchRun
+runCompiled(const CompiledWorkload &cw, MachineConfig config)
+{
+    BackingStore store(config.memsys.memBytes);
+    cw.workload->init(store);
+
+    Machine machine(cw.graph, cw.pnr.placement, cw.topo, config, store);
+    RunResult r = machine.run();
+    if (!r.finished)
+        fatal(cw.workload->name(), ": watchdog expired");
+    if (!r.clean)
+        fatal(cw.workload->name(), ": unclean termination: ", r.problem);
+
+    BenchRun out;
+    out.fabricCycles = r.fabricCycles;
+    out.systemCycles = r.systemCycles;
+    out.loads = r.loads;
+    out.stores = r.stores;
+    out.firings = r.firings;
+    std::string why;
+    out.verified = cw.workload->verify(store, &why);
+    if (!out.verified)
+        warn(cw.workload->name(), ": output mismatch: ", why);
+    auto it = r.stats.dists().find("fmnoc.latency_total");
+    if (it != r.stats.dists().end())
+        out.avgMemLatency = it->second.mean();
+    return out;
+}
+
+MachineConfig
+primaryConfig(MemModel model, int upea_latency)
+{
+    MachineConfig cfg;
+    cfg.mem.model = model;
+    cfg.mem.upeaLatency = upea_latency;
+    // The paper sets Monaco's clock divider to 2 for the primary
+    // comparisons and gives the baselines the same fabric (Sec. 6).
+    cfg.clockDivider = 2;
+    return cfg;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+void
+printRow(const std::string &label, const std::vector<std::string> &cells,
+         int label_width, int cell_width)
+{
+    std::printf("%-*s", label_width, label.c_str());
+    for (const std::string &cell : cells)
+        std::printf("%*s", cell_width, cell.c_str());
+    std::printf("\n");
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+} // namespace bench
+} // namespace nupea

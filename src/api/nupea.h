@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Umbrella header: the full public API of the NUPEA library.
+ *
+ * Typical flow:
+ *   1. Express a kernel with Builder (dfg/builder.h) or pick one of
+ *      the paper's workloads (workloads/workload.h).
+ *   2. Pick a fabric (fabric/topology.h): Monaco, Clustered-Single,
+ *      Clustered-Double, at any size / NoC track budget.
+ *   3. Compile with placeAndRoute() (compiler/pnr.h) — criticality
+ *      analysis, NUPEA-aware placement, routing, static timing.
+ *   4. Simulate with Machine (sim/machine.h) under the Monaco, UPEA,
+ *      or NUMA-UPEA memory model.
+ */
+
+#ifndef NUPEA_API_NUPEA_H
+#define NUPEA_API_NUPEA_H
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/scc.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "compiler/criticality.h"
+#include "compiler/placement.h"
+#include "compiler/pnr.h"
+#include "compiler/report.h"
+#include "compiler/routing.h"
+#include "compiler/timing.h"
+#include "dfg/builder.h"
+#include "dfg/graph.h"
+#include "dfg/interp.h"
+#include "dfg/opcode.h"
+#include "fabric/topology.h"
+#include "memory/backing_store.h"
+#include "memory/cache.h"
+#include "memory/memsys.h"
+#include "sim/machine.h"
+#include "sim/mem_model.h"
+#include "workloads/workload.h"
+
+#endif // NUPEA_API_NUPEA_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  — the run cannot continue because of a user/configuration
+ *            error; throws FatalError (callers and tests may catch it).
+ * panic()  — an internal invariant was violated (a library bug); aborts.
+ * warn()   — something is suspicious but the run can continue.
+ */
+
+#ifndef NUPEA_COMMON_LOG_H
+#define NUPEA_COMMON_LOG_H
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nupea
+{
+
+/** Exception thrown by fatal() so configuration errors are testable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail
+{
+
+/** Recursion base case for message formatting. */
+inline void
+appendArgs(std::ostringstream &)
+{}
+
+/** Append args to the stream, separated by nothing (caller formats). */
+template <typename T, typename... Rest>
+void
+appendArgs(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    appendArgs(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message from stream-formattable pieces. */
+template <typename... Args>
+std::string
+formatMessage(const Args &...args)
+{
+    std::ostringstream os;
+    detail::appendArgs(os, args...);
+    return os.str();
+}
+
+/** Report a user/configuration error and abort the run via exception. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    throw FatalError(formatMessage("fatal: ", args...));
+}
+
+/** Report an internal invariant violation; never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::string msg = formatMessage("panic: ", args...);
+    std::fputs(msg.c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+/** Emit a non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::string msg = formatMessage("warn: ", args...);
+    std::fputs(msg.c_str(), stderr);
+    std::fputc('\n', stderr);
+}
+
+/** panic() unless the condition holds. */
+#define NUPEA_ASSERT(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::nupea::panic("assertion failed: ", #cond, " ",                 \
+                           ::nupea::formatMessage(__VA_ARGS__), " at ",      \
+                           __FILE__, ":", __LINE__);                         \
+        }                                                                    \
+    } while (0)
+
+} // namespace nupea
+
+#endif // NUPEA_COMMON_LOG_H

@@ -1,0 +1,92 @@
+#include "common/scc.h"
+
+#include <limits>
+
+namespace nupea
+{
+
+SccResult
+computeScc(const std::vector<std::vector<std::uint32_t>> &adj)
+{
+    const std::uint32_t n = static_cast<std::uint32_t>(adj.size());
+    constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+
+    SccResult result;
+    result.component.assign(n, kUnset);
+
+    std::vector<std::uint32_t> index(n, kUnset);
+    std::vector<std::uint32_t> lowlink(n, 0);
+    std::vector<bool> on_stack(n, false);
+    std::vector<std::uint32_t> stack;
+    std::uint32_t next_index = 0;
+
+    // Iterative Tarjan: frames of (node, next-edge position).
+    struct Frame
+    {
+        std::uint32_t node;
+        std::uint32_t edge;
+    };
+    std::vector<Frame> dfs;
+
+    for (std::uint32_t root = 0; root < n; ++root) {
+        if (index[root] != kUnset)
+            continue;
+        dfs.push_back({root, 0});
+        index[root] = lowlink[root] = next_index++;
+        stack.push_back(root);
+        on_stack[root] = true;
+
+        while (!dfs.empty()) {
+            Frame &f = dfs.back();
+            std::uint32_t v = f.node;
+            if (f.edge < adj[v].size()) {
+                std::uint32_t w = adj[v][f.edge++];
+                if (index[w] == kUnset) {
+                    index[w] = lowlink[w] = next_index++;
+                    stack.push_back(w);
+                    on_stack[w] = true;
+                    dfs.push_back({w, 0});
+                } else if (on_stack[w] && index[w] < lowlink[v]) {
+                    lowlink[v] = index[w];
+                }
+            } else {
+                dfs.pop_back();
+                if (!dfs.empty()) {
+                    std::uint32_t parent = dfs.back().node;
+                    if (lowlink[v] < lowlink[parent])
+                        lowlink[parent] = lowlink[v];
+                }
+                if (lowlink[v] == index[v]) {
+                    std::uint32_t comp =
+                        static_cast<std::uint32_t>(result.size.size());
+                    std::uint32_t count = 0;
+                    while (true) {
+                        std::uint32_t w = stack.back();
+                        stack.pop_back();
+                        on_stack[w] = false;
+                        result.component[w] = comp;
+                        ++count;
+                        if (w == v)
+                            break;
+                    }
+                    result.size.push_back(count);
+                    result.cyclic.push_back(count > 1);
+                }
+            }
+        }
+    }
+
+    // Mark self-loop singletons as cyclic.
+    for (std::uint32_t v = 0; v < n; ++v) {
+        if (result.size[result.component[v]] == 1) {
+            for (std::uint32_t w : adj[v]) {
+                if (w == v)
+                    result.cyclic[result.component[v]] = true;
+            }
+        }
+    }
+
+    return result;
+}
+
+} // namespace nupea

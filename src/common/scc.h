@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Strongly-connected-component decomposition (iterative Tarjan).
+ *
+ * Shared by graph validation (combinational-ring detection) and the
+ * compiler's recurrence analysis.
+ */
+
+#ifndef NUPEA_COMMON_SCC_H
+#define NUPEA_COMMON_SCC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace nupea
+{
+
+/** Result of an SCC decomposition over nodes 0..n-1. */
+struct SccResult
+{
+    /** Component id of each node; ids are dense, 0-based. */
+    std::vector<std::uint32_t> component;
+    /** Number of nodes in each component. */
+    std::vector<std::uint32_t> size;
+    /** True if the component contains a cycle (size > 1 or self-loop). */
+    std::vector<bool> cyclic;
+
+    std::uint32_t numComponents() const
+    {
+        return static_cast<std::uint32_t>(size.size());
+    }
+};
+
+/**
+ * Compute strongly connected components of a directed graph given as
+ * adjacency lists (adj[v] = successors of v).
+ */
+SccResult computeScc(const std::vector<std::vector<std::uint32_t>> &adj);
+
+} // namespace nupea
+
+#endif // NUPEA_COMMON_SCC_H

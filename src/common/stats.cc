@@ -1,0 +1,22 @@
+#include "common/stats.h"
+
+#include <iomanip>
+
+namespace nupea
+{
+
+void
+StatSet::print(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, value] : counters_)
+        os << prefix << name << " " << value << "\n";
+    for (const auto &[name, d] : dists_) {
+        os << prefix << name << ".count " << d.count() << "\n"
+           << prefix << name << ".mean " << std::fixed
+           << std::setprecision(3) << d.mean() << "\n"
+           << prefix << name << ".min " << d.min() << "\n"
+           << prefix << name << ".max " << d.max() << "\n";
+    }
+}
+
+} // namespace nupea

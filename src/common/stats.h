@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Lightweight statistics registry.
+ *
+ * Simulator components register named scalar counters and distributions
+ * with a StatSet; harnesses print or export them after a run.
+ */
+
+#ifndef NUPEA_COMMON_STATS_H
+#define NUPEA_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace nupea
+{
+
+/** A running mean/min/max over samples (e.g., memory latency). */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double value)
+    {
+        if (count_ == 0 || value < min_)
+            min_ = value;
+        if (count_ == 0 || value > max_)
+            max_ = value;
+        sum_ += value;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Forget all samples. */
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named collection of counters and distributions. Lookup creates on
+ * first use, so components can record stats without a registration
+ * phase.
+ */
+class StatSet
+{
+  public:
+    /** Get (creating if absent) a scalar counter. */
+    std::uint64_t &counter(const std::string &name) { return counters_[name]; }
+
+    /** Get (creating if absent) a distribution. */
+    Distribution &dist(const std::string &name) { return dists_[name]; }
+
+    /** Read a counter, 0 if it was never touched. */
+    std::uint64_t
+    counterValue(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Distribution> &dists() const
+    {
+        return dists_;
+    }
+
+    /** Reset every counter and distribution to zero. */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second = 0;
+        for (auto &kv : dists_)
+            kv.second.reset();
+    }
+
+    /** Human-readable dump, one stat per line. */
+    void print(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace nupea
+
+#endif // NUPEA_COMMON_STATS_H

@@ -1,0 +1,16 @@
+#include "common/types.h"
+
+#include <sstream>
+
+namespace nupea
+{
+
+std::string
+Coord::str() const
+{
+    std::ostringstream os;
+    os << "(" << row << "," << col << ")";
+    return os.str();
+}
+
+} // namespace nupea

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fundamental scalar types and small value types shared across the
+ * NUPEA library: cycle counters, identifiers, grid coordinates, and
+ * machine word types used by the dataflow simulator.
+ */
+
+#ifndef NUPEA_COMMON_TYPES_H
+#define NUPEA_COMMON_TYPES_H
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace nupea
+{
+
+/** A count of clock cycles (system or fabric clock, per context). */
+using Cycle = std::uint64_t;
+
+/** Sentinel for "no cycle" / unscheduled. */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Machine word carried by dataflow tokens (Monaco is a 32-bit machine). */
+using Word = std::int32_t;
+
+/** Unsigned view of a machine word, used for addresses. */
+using UWord = std::uint32_t;
+
+/** Byte address into the flat simulated memory. */
+using Addr = std::uint32_t;
+
+/** Sentinel for invalid ids (nodes, PEs, ports, ...). */
+constexpr std::uint32_t kInvalidId = std::numeric_limits<std::uint32_t>::max();
+
+/**
+ * Integer coordinate of a tile in the PE grid. Row 0 is the top of the
+ * fabric; column 0 is the side closest to memory (matching Fig. 8 of the
+ * paper, mirrored so that "closer to memory" is always a smaller column).
+ */
+struct Coord
+{
+    std::int32_t row = 0;
+    std::int32_t col = 0;
+
+    bool operator==(const Coord &other) const = default;
+
+    /** Manhattan distance between two tiles. */
+    std::int32_t
+    manhattan(const Coord &other) const
+    {
+        std::int32_t dr = row - other.row;
+        std::int32_t dc = col - other.col;
+        return (dr < 0 ? -dr : dr) + (dc < 0 ? -dc : dc);
+    }
+
+    std::string str() const;
+};
+
+/** Strict weak order so Coord can key ordered containers. */
+inline bool
+operator<(const Coord &a, const Coord &b)
+{
+    if (a.row != b.row)
+        return a.row < b.row;
+    return a.col < b.col;
+}
+
+} // namespace nupea
+
+namespace std
+{
+
+template <>
+struct hash<nupea::Coord>
+{
+    size_t
+    operator()(const nupea::Coord &c) const noexcept
+    {
+        return (static_cast<size_t>(c.row) << 20) ^
+               static_cast<size_t>(static_cast<std::uint32_t>(c.col));
+    }
+};
+
+} // namespace std
+
+#endif // NUPEA_COMMON_TYPES_H

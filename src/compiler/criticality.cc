@@ -1,0 +1,58 @@
+#include "compiler/criticality.h"
+
+#include "common/scc.h"
+
+namespace nupea
+{
+
+CriticalityStats
+analyzeCriticality(Graph &graph)
+{
+    const std::size_t n = graph.numNodes();
+
+    // Dataflow adjacency (producer -> consumer) over value edges.
+    std::vector<std::vector<std::uint32_t>> adj(n);
+    for (NodeId id = 0; id < n; ++id) {
+        for (const InputConn &in : graph.node(id).inputs) {
+            if (!in.isImm && in.src != kInvalidId)
+                adj[in.src].push_back(id);
+        }
+    }
+
+    SccResult scc = computeScc(adj);
+
+    // A recurrence is a cyclic component carrying a loop merge.
+    std::vector<bool> comp_is_recurrence(scc.numComponents(), false);
+    for (NodeId id = 0; id < n; ++id) {
+        if (graph.node(id).op == Op::LoopMerge &&
+            scc.cyclic[scc.component[id]]) {
+            comp_is_recurrence[scc.component[id]] = true;
+        }
+    }
+
+    CriticalityStats stats;
+    for (std::uint32_t comp = 0; comp < scc.numComponents(); ++comp)
+        stats.recurrences += comp_is_recurrence[comp];
+
+    for (NodeId id = 0; id < n; ++id) {
+        Node &node = graph.node(id);
+        if (!opTraits(node.op).isMemory) {
+            node.crit = Criticality::None;
+            continue;
+        }
+        if (comp_is_recurrence[scc.component[id]]) {
+            node.crit = Criticality::Critical;
+            ++stats.critical;
+        } else if (node.loop != kInvalidId &&
+                   !graph.loopInfo(node.loop).hasChildren) {
+            node.crit = Criticality::InnerLoop;
+            ++stats.innerLoop;
+        } else {
+            node.crit = Criticality::OtherMem;
+            ++stats.otherMem;
+        }
+    }
+    return stats;
+}
+
+} // namespace nupea

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Critical-load identification (paper Sec. 5).
+ *
+ * effcc's heuristics, reproduced on the DFG:
+ *  - class (a) "critical": memory operations on a loop-governing
+ *    recurrence. We find these as cyclic strongly-connected
+ *    components of the dataflow graph that contain a LoopMerge (the
+ *    merge ring is exactly the loop-carried dependence); any load or
+ *    store inside such a component gates the next iteration's launch.
+ *  - class (b) "inner-loop": memory operations whose innermost
+ *    enclosing loop is a leaf of the loop tree — they execute
+ *    frequently.
+ *  - class (c) everything else that touches memory.
+ */
+
+#ifndef NUPEA_COMPILER_CRITICALITY_H
+#define NUPEA_COMPILER_CRITICALITY_H
+
+#include <cstddef>
+
+#include "dfg/graph.h"
+
+namespace nupea
+{
+
+/** Summary of a criticality analysis run. */
+struct CriticalityStats
+{
+    std::size_t critical = 0;    ///< class (a) memory ops
+    std::size_t innerLoop = 0;   ///< class (b) memory ops
+    std::size_t otherMem = 0;    ///< class (c) memory ops
+    std::size_t recurrences = 0; ///< cyclic merge-bearing SCCs found
+};
+
+/**
+ * Mark every memory node in `graph` with its criticality class.
+ * Non-memory nodes keep Criticality::None. Idempotent.
+ */
+CriticalityStats analyzeCriticality(Graph &graph);
+
+} // namespace nupea
+
+#endif // NUPEA_COMPILER_CRITICALITY_H

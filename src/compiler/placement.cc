@@ -1,0 +1,465 @@
+#include "compiler/placement.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace nupea
+{
+
+std::string_view
+placeModeName(PlaceMode mode)
+{
+    switch (mode) {
+      case PlaceMode::DomainUnaware: return "domain-unaware";
+      case PlaceMode::DomainAware: return "only-domain-aware";
+      case PlaceMode::CriticalityAware: return "effcc";
+    }
+    return "?";
+}
+
+double
+critWeight(PlaceMode mode, Criticality crit)
+{
+    switch (mode) {
+      case PlaceMode::DomainUnaware:
+        return 0.0;
+      case PlaceMode::DomainAware:
+        return 6.0; // domain preference, criticality-blind
+      case PlaceMode::CriticalityAware:
+        switch (crit) {
+          case Criticality::Critical: return 24.0;
+          case Criticality::InnerLoop: return 6.0;
+          case Criticality::OtherMem: return 1.0;
+          case Criticality::None: return 0.0;
+        }
+    }
+    return 0.0;
+}
+
+namespace
+{
+
+constexpr int kNumFuClasses = 4;
+
+int
+fuIndex(FuClass fu)
+{
+    return static_cast<int>(fu);
+}
+
+/** Working state shared by initial placement and annealing. */
+class PlacerState
+{
+  public:
+    PlacerState(const Graph &graph, const Topology &topo,
+                const PlacerOptions &options)
+        : graph_(graph), topo_(topo), options_(options),
+          rng_(options.seed), pos_(graph.numNodes(), Coord{-1, -1}),
+          occupants_(static_cast<std::size_t>(topo.numTiles()))
+    {}
+
+    const Placement
+    placement() const
+    {
+        Placement p;
+        p.pos = pos_;
+        return p;
+    }
+
+    /** Memory-distance cost of putting a memory node on `tile`. */
+    double
+    tileMemCost(Coord tile) const
+    {
+        return topo_.arbHops(tile) +
+               options_.columnPreference * tile.col;
+    }
+
+    double
+    nodeMemCost(NodeId id, Coord tile) const
+    {
+        const Node &n = graph_.node(id);
+        if (!opTraits(n.op).isMemory)
+            return 0.0;
+        return options_.memWeight * critWeight(options_.mode, n.crit) *
+               tileMemCost(tile);
+    }
+
+    /** Wirelength of all edges incident to `id` given positions. */
+    double
+    incidentWirelen(NodeId id) const
+    {
+        double total = 0.0;
+        const Node &n = graph_.node(id);
+        for (const InputConn &in : n.inputs) {
+            if (!in.isImm && in.src != kInvalidId)
+                total += pos_[in.src].manhattan(pos_[id]);
+        }
+        for (const PortRef &dst : graph_.fanout()[id])
+            total += pos_[id].manhattan(pos_[dst.node]);
+        return total * options_.wirelenWeight;
+    }
+
+    bool
+    hasFreeSlot(Coord tile, FuClass fu) const
+    {
+        const auto &occ =
+            occupants_[static_cast<std::size_t>(topo_.tileIndex(tile))];
+        return occ[static_cast<std::size_t>(fuIndex(fu))].size() <
+               topo_.slots(tile).forClass(fu);
+    }
+
+    void
+    put(NodeId id, Coord tile)
+    {
+        FuClass fu = opTraits(graph_.node(id).op).fu;
+        NUPEA_ASSERT(hasFreeSlot(tile, fu), "no free ",
+                     static_cast<int>(fu), " slot at ", tile.str());
+        occupants_[static_cast<std::size_t>(topo_.tileIndex(tile))]
+                  [static_cast<std::size_t>(fuIndex(fu))]
+                      .push_back(id);
+        pos_[id] = tile;
+    }
+
+    void
+    remove(NodeId id)
+    {
+        Coord tile = pos_[id];
+        FuClass fu = opTraits(graph_.node(id).op).fu;
+        auto &list =
+            occupants_[static_cast<std::size_t>(topo_.tileIndex(tile))]
+                      [static_cast<std::size_t>(fuIndex(fu))];
+        auto it = std::find(list.begin(), list.end(), id);
+        NUPEA_ASSERT(it != list.end());
+        list.erase(it);
+        pos_[id] = Coord{-1, -1};
+    }
+
+    /** Nearest tile to `target` with a free slot of class `fu`. */
+    Coord
+    nearestFree(Coord target, FuClass fu) const
+    {
+        int max_d = topo_.rows() + topo_.cols();
+        for (int d = 0; d <= max_d; ++d) {
+            for (int dr = -d; dr <= d; ++dr) {
+                int rem = d - (dr < 0 ? -dr : dr);
+                for (int dc : {-rem, rem}) {
+                    Coord c{target.row + dr, target.col + dc};
+                    if (topo_.inBounds(c) && hasFreeSlot(c, fu))
+                        return c;
+                    if (rem == 0)
+                        break; // avoid checking (dr, 0) twice
+                }
+            }
+        }
+        fatal("fabric has no free slot of the required FU class "
+              "anywhere (graph too large?)");
+    }
+
+    void initialPlace();
+    void anneal();
+
+    Rng &rng() { return rng_; }
+
+  private:
+    /** Random occupant of `tile` with FU class `fu`, or kInvalidId. */
+    NodeId
+    randomOccupant(Coord tile, FuClass fu)
+    {
+        auto &list =
+            occupants_[static_cast<std::size_t>(topo_.tileIndex(tile))]
+                      [static_cast<std::size_t>(fuIndex(fu))];
+        if (list.empty())
+            return kInvalidId;
+        return list[rng_.below(list.size())];
+    }
+
+    /** Cost touched by moving `a` (and optionally `b`). */
+    double
+    localCost(NodeId a, NodeId b)
+    {
+        double cost = incidentWirelen(a) + nodeMemCost(a, pos_[a]);
+        if (b != kInvalidId) {
+            cost += incidentWirelen(b) + nodeMemCost(b, pos_[b]);
+            // Edges between a and b are counted from both sides;
+            // subtract the duplicate so deltas stay consistent.
+            const Node &nb = graph_.node(b);
+            for (const InputConn &in : nb.inputs) {
+                if (!in.isImm && in.src == a) {
+                    cost -= options_.wirelenWeight *
+                            pos_[a].manhattan(pos_[b]);
+                }
+            }
+            const Node &na = graph_.node(a);
+            for (const InputConn &in : na.inputs) {
+                if (!in.isImm && in.src == b) {
+                    cost -= options_.wirelenWeight *
+                            pos_[a].manhattan(pos_[b]);
+                }
+            }
+        }
+        return cost;
+    }
+
+    const Graph &graph_;
+    const Topology &topo_;
+    const PlacerOptions &options_;
+    Rng rng_;
+    std::vector<Coord> pos_;
+    /** occupants_[tile][fuClass] = node list. */
+    std::vector<std::array<std::vector<NodeId>, kNumFuClasses>> occupants_;
+};
+
+void
+PlacerState::initialPlace()
+{
+    // 1. Memory instructions first, into LS tiles in preference order
+    //    (paper Sec. 5: "LS are placed first, favoring domains").
+    std::vector<NodeId> mem_nodes;
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        if (opTraits(graph_.node(id).op).fu == FuClass::Mem)
+            mem_nodes.push_back(id);
+    }
+
+    std::vector<Coord> ls_tiles = topo_.lsTilesByPreference();
+    if (options_.mode == PlaceMode::DomainUnaware) {
+        // No incentive to be near memory: scatter the LS tiles.
+        for (std::size_t i = ls_tiles.size(); i > 1; --i)
+            std::swap(ls_tiles[i - 1], ls_tiles[rng_.below(i)]);
+    } else if (options_.mode == PlaceMode::CriticalityAware) {
+        // Most-critical first so they land in the fastest domains.
+        std::stable_sort(mem_nodes.begin(), mem_nodes.end(),
+                         [this](NodeId a, NodeId b) {
+                             return static_cast<int>(graph_.node(a).crit) <
+                                    static_cast<int>(graph_.node(b).crit);
+                         });
+    }
+
+    std::size_t next_tile = 0;
+    for (NodeId id : mem_nodes) {
+        NUPEA_ASSERT(next_tile < ls_tiles.size(),
+                     "more memory instructions than LS tiles");
+        put(id, ls_tiles[next_tile++]);
+    }
+
+    // 2. Everything else breadth-first through defs and uses, close
+    //    to the centroid of already-placed neighbors.
+    std::vector<NodeId> order;
+    std::vector<std::uint8_t> seen(graph_.numNodes(), 0);
+    for (NodeId id : mem_nodes) {
+        order.push_back(id);
+        seen[id] = 1;
+    }
+    // Seed with any nodes if the graph has no memory ops at all.
+    for (NodeId id = 0; id < graph_.numNodes() && order.empty(); ++id) {
+        order.push_back(id);
+        seen[id] = 1;
+    }
+    for (std::size_t head = 0; head < order.size(); ++head) {
+        NodeId id = order[head];
+        const Node &n = graph_.node(id);
+        for (const InputConn &in : n.inputs) {
+            if (!in.isImm && in.src != kInvalidId && !seen[in.src]) {
+                seen[in.src] = 1;
+                order.push_back(in.src);
+            }
+        }
+        for (const PortRef &dst : graph_.fanout()[id]) {
+            if (!seen[dst.node]) {
+                seen[dst.node] = 1;
+                order.push_back(dst.node);
+            }
+        }
+    }
+    // Disconnected leftovers (rare).
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        if (!seen[id])
+            order.push_back(id);
+    }
+
+    for (NodeId id : order) {
+        if (pos_[id].row >= 0)
+            continue; // memory ops already placed
+        const Node &n = graph_.node(id);
+        // Centroid of placed neighbors.
+        int sum_r = 0, sum_c = 0, count = 0;
+        for (const InputConn &in : n.inputs) {
+            if (!in.isImm && in.src != kInvalidId &&
+                pos_[in.src].row >= 0) {
+                sum_r += pos_[in.src].row;
+                sum_c += pos_[in.src].col;
+                ++count;
+            }
+        }
+        for (const PortRef &dst : graph_.fanout()[id]) {
+            if (pos_[dst.node].row >= 0) {
+                sum_r += pos_[dst.node].row;
+                sum_c += pos_[dst.node].col;
+                ++count;
+            }
+        }
+        Coord target;
+        if (count > 0) {
+            target = Coord{sum_r / count, sum_c / count};
+        } else {
+            target = Coord{
+                static_cast<std::int32_t>(rng_.below(
+                    static_cast<std::uint64_t>(topo_.rows()))),
+                static_cast<std::int32_t>(rng_.below(
+                    static_cast<std::uint64_t>(topo_.cols())))};
+        }
+        put(id, nearestFree(target, opTraits(n.op).fu));
+    }
+}
+
+void
+PlacerState::anneal()
+{
+    const std::size_t n = graph_.numNodes();
+    if (n == 0)
+        return;
+
+    const std::uint64_t iterations =
+        static_cast<std::uint64_t>(options_.iterationsPerNode) * n;
+    const double t_begin = 12.0;
+    const double t_end = 0.05;
+
+    for (std::uint64_t i = 0; i < iterations; ++i) {
+        double temp =
+            t_begin *
+            std::pow(t_end / t_begin,
+                     static_cast<double>(i) /
+                         static_cast<double>(iterations));
+
+        NodeId a = static_cast<NodeId>(rng_.below(n));
+        FuClass fu = opTraits(graph_.node(a).op).fu;
+        Coord from = pos_[a];
+        Coord to{static_cast<std::int32_t>(
+                     rng_.below(static_cast<std::uint64_t>(topo_.rows()))),
+                 static_cast<std::int32_t>(rng_.below(
+                     static_cast<std::uint64_t>(topo_.cols())))};
+        if (to == from)
+            continue;
+        if (topo_.slots(to).forClass(fu) == 0)
+            continue;
+
+        NodeId b = kInvalidId;
+        if (!hasFreeSlot(to, fu)) {
+            b = randomOccupant(to, fu);
+            if (b == kInvalidId || b == a)
+                continue;
+        }
+
+        double before = localCost(a, b);
+        // Apply the move.
+        remove(a);
+        if (b != kInvalidId)
+            remove(b);
+        put(a, to);
+        if (b != kInvalidId)
+            put(b, from);
+        double after = localCost(a, b);
+
+        double delta = after - before;
+        if (delta > 0 && rng_.uniform() >= std::exp(-delta / temp)) {
+            // Revert.
+            remove(a);
+            if (b != kInvalidId)
+                remove(b);
+            put(a, from);
+            if (b != kInvalidId)
+                put(b, to);
+        }
+    }
+}
+
+} // namespace
+
+bool
+placementLegal(const Graph &graph, const Topology &topo,
+               const Placement &placement, std::string *why)
+{
+    if (placement.pos.size() != graph.numNodes()) {
+        if (why)
+            *why = "placement size mismatch";
+        return false;
+    }
+    std::vector<std::array<int, kNumFuClasses>> used(
+        static_cast<std::size_t>(topo.numTiles()), {0, 0, 0, 0});
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        Coord c = placement.pos[id];
+        if (!topo.inBounds(c)) {
+            if (why)
+                *why = formatMessage("node ", id, " off fabric");
+            return false;
+        }
+        FuClass fu = opTraits(graph.node(id).op).fu;
+        int idx = topo.tileIndex(c);
+        auto &u = used[static_cast<std::size_t>(idx)]
+                      [static_cast<std::size_t>(fuIndex(fu))];
+        ++u;
+        if (u > topo.slots(c).forClass(fu)) {
+            if (why) {
+                *why = formatMessage("tile ", c.str(),
+                                     " over capacity for FU class ",
+                                     fuIndex(fu));
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+double
+placementCost(const Graph &graph, const Topology &topo,
+              const Placement &placement, const PlacerOptions &options)
+{
+    double cost = 0.0;
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &n = graph.node(id);
+        for (const InputConn &in : n.inputs) {
+            if (!in.isImm && in.src != kInvalidId) {
+                cost += options.wirelenWeight *
+                        placement.pos[in.src].manhattan(placement.pos[id]);
+            }
+        }
+        if (opTraits(n.op).isMemory) {
+            Coord tile = placement.pos[id];
+            cost += options.memWeight * critWeight(options.mode, n.crit) *
+                    (topo.arbHops(tile) +
+                     options.columnPreference * tile.col);
+        }
+    }
+    return cost;
+}
+
+Placement
+placeGraph(const Graph &graph, const Topology &topo,
+           const PlacerOptions &options)
+{
+    // Fail fast when the graph cannot fit.
+    for (FuClass fu : {FuClass::Arith, FuClass::Control, FuClass::Mem,
+                       FuClass::XData}) {
+        std::size_t need = graph.countFu(fu);
+        std::size_t have = topo.totalSlots(fu);
+        if (need > have) {
+            fatal("graph needs ", need, " slots of FU class ",
+                  fuIndex(fu), " but fabric ", topo.name(), " has ",
+                  have);
+        }
+    }
+
+    PlacerState state(graph, topo, options);
+    state.initialPlace();
+    state.anneal();
+
+    Placement result = state.placement();
+    std::string why;
+    if (!placementLegal(graph, topo, result, &why))
+        panic("placer produced illegal placement: ", why);
+    return result;
+}
+
+} // namespace nupea

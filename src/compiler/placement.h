@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Instruction placement onto the fabric (paper Sec. 5).
+ *
+ * effcc's PnR places instructions with simulated annealing. The
+ * NUPEA-aware pieces are (i) an initial placement that fills LS
+ * tiles in NUPEA-domain/column preference order, most-critical
+ * memory instructions first, and (ii) a memory-cost term in the
+ * annealing objective that charges each memory instruction its
+ * tile's arbitration distance, weighted by criticality class.
+ *
+ * Three modes reproduce the paper's Fig. 12 ablation:
+ *  - DomainUnaware:    no memory-cost term, random LS assignment;
+ *  - DomainAware:      domain preference but criticality-blind;
+ *  - CriticalityAware: full effcc heuristic.
+ */
+
+#ifndef NUPEA_COMPILER_PLACEMENT_H
+#define NUPEA_COMPILER_PLACEMENT_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dfg/graph.h"
+#include "fabric/topology.h"
+
+namespace nupea
+{
+
+/** Per-node tile assignment. */
+struct Placement
+{
+    std::vector<Coord> pos;
+
+    Coord
+    of(NodeId id) const
+    {
+        return pos[static_cast<std::size_t>(id)];
+    }
+};
+
+/** PnR heuristic flavor (paper Fig. 12). */
+enum class PlaceMode : std::uint8_t
+{
+    DomainUnaware,
+    DomainAware,
+    CriticalityAware,
+};
+
+/** Printable mode name. */
+std::string_view placeModeName(PlaceMode mode);
+
+/** Tuning knobs for the annealer. */
+struct PlacerOptions
+{
+    PlaceMode mode = PlaceMode::CriticalityAware;
+    std::uint64_t seed = 1;
+    /** Annealing moves per graph node. */
+    int iterationsPerNode = 150;
+    /** Weight of the total-wirelength term. */
+    double wirelenWeight = 1.0;
+    /** Weight of the criticality-weighted memory-distance term. */
+    double memWeight = 4.0;
+    /** Column preference within a domain (paper Sec. 5). */
+    double columnPreference = 0.1;
+};
+
+/**
+ * Check that a placement satisfies fabric constraints: every node on
+ * a tile with a free slot of its FU class (memory ops on LS tiles).
+ * Returns true and leaves `why` untouched when legal.
+ */
+bool placementLegal(const Graph &graph, const Topology &topo,
+                    const Placement &placement, std::string *why = nullptr);
+
+/** Total cost of a placement under the given options (for tests). */
+double placementCost(const Graph &graph, const Topology &topo,
+                     const Placement &placement,
+                     const PlacerOptions &options);
+
+/**
+ * Place every node of `graph` onto `topo`. The graph must fit (see
+ * Topology::totalSlots); otherwise fatal(). The result is always
+ * legal.
+ */
+Placement placeGraph(const Graph &graph, const Topology &topo,
+                     const PlacerOptions &options);
+
+/**
+ * The annealing objective's criticality weight for a memory node
+ * under a mode (exposed for tests and the router's net ordering).
+ */
+double critWeight(PlaceMode mode, Criticality crit);
+
+} // namespace nupea
+
+#endif // NUPEA_COMPILER_PLACEMENT_H

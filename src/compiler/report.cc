@@ -1,0 +1,86 @@
+#include "compiler/report.h"
+
+#include <sstream>
+#include <vector>
+
+namespace nupea
+{
+
+std::string
+placementMap(const Graph &graph, const Topology &topo,
+             const Placement &placement)
+{
+    // Rank per tile: higher wins the single display character.
+    // 0 empty, 1 arith, 2 control, 3 other-mem, 4 inner, 5 critical.
+    std::vector<int> rank(static_cast<std::size_t>(topo.numTiles()), 0);
+    std::vector<int> count(static_cast<std::size_t>(topo.numTiles()), 0);
+
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &n = graph.node(id);
+        auto tile = static_cast<std::size_t>(
+            topo.tileIndex(placement.of(id)));
+        ++count[tile];
+        int r = 1;
+        if (opTraits(n.op).fu == FuClass::Control)
+            r = 2;
+        if (opTraits(n.op).isMemory) {
+            switch (n.crit) {
+              case Criticality::Critical: r = 5; break;
+              case Criticality::InnerLoop: r = 4; break;
+              default: r = 3; break;
+            }
+        }
+        rank[tile] = std::max(rank[tile], r);
+    }
+
+    static const char kGlyph[] = {'.', 'a', 'c', 'M', 'I', 'C'};
+    std::ostringstream os;
+    for (int r = 0; r < topo.rows(); ++r) {
+        for (int c = 0; c < topo.cols(); ++c) {
+            auto tile =
+                static_cast<std::size_t>(topo.tileIndex({r, c}));
+            char glyph = kGlyph[rank[tile]];
+            // Mark multi-instruction compute tiles.
+            if (rank[tile] > 0 && rank[tile] < 3 && count[tile] > 1)
+                glyph = '*';
+            os << glyph << ' ';
+        }
+        os << "|";
+        if (topo.lsRowIndex(r) >= 0)
+            os << " LS row " << topo.lsRowIndex(r);
+        os << "\n";
+    }
+    os << "(C=critical, I=inner-loop, M=other memory; column 0 is "
+          "nearest memory)\n";
+    return os.str();
+}
+
+std::string
+domainSummary(const Graph &graph, const Topology &topo,
+              const Placement &placement)
+{
+    std::ostringstream os;
+    for (Criticality c : {Criticality::Critical, Criticality::InnerLoop,
+                          Criticality::OtherMem}) {
+        std::vector<int> per_domain(
+            static_cast<std::size_t>(topo.numDomains()), 0);
+        int total = 0;
+        for (NodeId id = 0; id < graph.numNodes(); ++id) {
+            if (graph.node(id).crit != c)
+                continue;
+            ++per_domain[static_cast<std::size_t>(
+                topo.domainOf(placement.of(id)))];
+            ++total;
+        }
+        if (total == 0)
+            continue;
+        os << criticalityName(c) << ":";
+        for (int d = 0; d < topo.numDomains(); ++d)
+            os << " D" << d << "="
+               << per_domain[static_cast<std::size_t>(d)];
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace nupea

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Human-readable PnR reports: a fabric-occupancy map showing what
+ * landed where (and, for memory instructions, their criticality
+ * class), plus a per-domain placement summary. Used by the examples
+ * and handy when debugging placements.
+ */
+
+#ifndef NUPEA_COMPILER_REPORT_H
+#define NUPEA_COMPILER_REPORT_H
+
+#include <string>
+
+#include "compiler/placement.h"
+#include "dfg/graph.h"
+#include "fabric/topology.h"
+
+namespace nupea
+{
+
+/**
+ * ASCII map of the fabric, one cell per tile:
+ *   '.' empty    'a' arith instr(s)     'c' control instr(s)
+ *   'C' critical memory op              'I' inner-loop memory op
+ *   'M' other memory op                 '*' mixed occupancy
+ * Memory markers win over compute markers so the NUPEA placement is
+ * visible at a glance; column 0 (left) is closest to memory.
+ */
+std::string placementMap(const Graph &graph, const Topology &topo,
+                         const Placement &placement);
+
+/**
+ * Per-criticality-class histogram of NUPEA domains, e.g.
+ * "critical: D0=8 D1=0 ...". One line per class that has members.
+ */
+std::string domainSummary(const Graph &graph, const Topology &topo,
+                          const Placement &placement);
+
+} // namespace nupea
+
+#endif // NUPEA_COMPILER_REPORT_H

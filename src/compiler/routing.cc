@@ -1,0 +1,337 @@
+#include "compiler/routing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "common/log.h"
+
+namespace nupea
+{
+
+namespace
+{
+
+/** One directed link in the routing-resource graph. */
+struct Link
+{
+    int from = 0;
+    int to = 0;
+    double delay = 1.0;
+    int capacity = 0;
+};
+
+/** The routing-resource graph for one fabric. */
+struct RRGraph
+{
+    std::vector<Link> links;
+    /** Outgoing link ids per tile. */
+    std::vector<std::vector<int>> out;
+
+    explicit RRGraph(const Topology &topo)
+    {
+        const int rows = topo.rows();
+        const int cols = topo.cols();
+        const int tracks = topo.dataTracks();
+        out.resize(static_cast<std::size_t>(rows * cols));
+
+        auto add = [&](Coord a, Coord b, double delay, int cap) {
+            if (!topo.inBounds(a) || !topo.inBounds(b) || cap <= 0)
+                return;
+            Link link;
+            link.from = topo.tileIndex(a);
+            link.to = topo.tileIndex(b);
+            link.delay = delay;
+            link.capacity = cap;
+            out[static_cast<std::size_t>(link.from)].push_back(
+                static_cast<int>(links.size()));
+            links.push_back(link);
+        };
+
+        // Monaco's track mix (Sec. 4.1): per 3-track group, one
+        // cardinal, one diagonal, one skip track.
+        // Track mix: one diagonal per 3-track group (at least one
+        // when any second track exists), one skip per full group.
+        const int diag_cap = tracks >= 2 ? std::max(1, tracks / 3) : 0;
+        const int skip_cap = tracks / 3;
+        for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+                Coord here{r, c};
+                add(here, {r + 1, c}, 1.0, tracks);
+                add(here, {r - 1, c}, 1.0, tracks);
+                add(here, {r, c + 1}, 1.0, tracks);
+                add(here, {r, c - 1}, 1.0, tracks);
+                add(here, {r + 1, c + 1}, 1.4, diag_cap);
+                add(here, {r + 1, c - 1}, 1.4, diag_cap);
+                add(here, {r - 1, c + 1}, 1.4, diag_cap);
+                add(here, {r - 1, c - 1}, 1.4, diag_cap);
+                add(here, {r + 2, c}, 1.6, skip_cap);
+                add(here, {r - 2, c}, 1.6, skip_cap);
+                add(here, {r, c + 2}, 1.6, skip_cap);
+                add(here, {r, c - 2}, 1.6, skip_cap);
+            }
+        }
+    }
+};
+
+/** A* search state. */
+struct SearchNode
+{
+    double f = 0.0;
+    double g = 0.0;
+    int tile = 0;
+
+    bool
+    operator>(const SearchNode &other) const
+    {
+        return f > other.f;
+    }
+};
+
+/** A multicast net: one producer, all its off-tile sink tiles. */
+struct Net
+{
+    NodeId src = kInvalidId;
+    int srcTile = 0;
+    std::vector<int> dstTiles;
+    int span = 0; ///< max Manhattan distance to any sink
+};
+
+} // namespace
+
+double
+RouteResult::maxUtilization() const
+{
+    double max_util = 0.0;
+    for (std::size_t i = 0; i < linkUsage.size(); ++i) {
+        if (linkCapacity[i] > 0) {
+            max_util = std::max(
+                max_util, static_cast<double>(linkUsage[i]) /
+                              static_cast<double>(linkCapacity[i]));
+        }
+    }
+    return max_util;
+}
+
+RouteResult
+routeGraph(const Graph &graph, const Topology &topo,
+           const Placement &placement, const RouterOptions &options)
+{
+    RRGraph rr(topo);
+
+    // Collect multicast nets: one per producer with off-tile sinks.
+    // Sinks on the producer's own tile use intra-tile wiring only.
+    std::vector<Net> nets;
+    {
+        std::map<NodeId, std::map<int, bool>> sinks;
+        for (NodeId id = 0; id < graph.numNodes(); ++id) {
+            for (const InputConn &in : graph.node(id).inputs) {
+                if (in.isImm || in.src == kInvalidId)
+                    continue;
+                int src_tile = topo.tileIndex(placement.of(in.src));
+                int dst_tile = topo.tileIndex(placement.of(id));
+                if (src_tile != dst_tile)
+                    sinks[in.src][dst_tile] = true;
+            }
+        }
+        for (auto &[src, tiles] : sinks) {
+            Net net;
+            net.src = src;
+            net.srcTile = topo.tileIndex(placement.of(src));
+            Coord s = topo.tileCoord(net.srcTile);
+            for (auto &[tile, _] : tiles) {
+                net.dstTiles.push_back(tile);
+                net.span = std::max(
+                    net.span, s.manhattan(topo.tileCoord(tile)));
+            }
+            // Route near sinks first so far sinks reuse the tree.
+            std::sort(net.dstTiles.begin(), net.dstTiles.end(),
+                      [&](int a, int b) {
+                          return s.manhattan(topo.tileCoord(a)) <
+                                 s.manhattan(topo.tileCoord(b));
+                      });
+            nets.push_back(std::move(net));
+        }
+    }
+
+    // Widest-span nets first: they have the fewest routing choices.
+    std::sort(nets.begin(), nets.end(),
+              [](const Net &a, const Net &b) { return a.span > b.span; });
+
+    std::vector<double> history(rr.links.size(), 0.0);
+    std::vector<int> usage(rr.links.size(), 0);
+    /** Per net: claimed link ids and per-sink source-to-sink delay. */
+    std::vector<std::vector<int>> net_links(nets.size());
+    std::vector<double> net_delay(nets.size(), 0.0);
+
+    RouteResult result;
+
+    const std::size_t num_tiles =
+        static_cast<std::size_t>(topo.numTiles());
+    std::vector<double> best_g(num_tiles);
+    std::vector<int> came_from(num_tiles);
+    /** Raw wire delay from the producer along the net's tree. */
+    std::vector<double> tree_delay(num_tiles);
+    std::vector<std::uint8_t> in_tree(num_tiles);
+
+    for (int iter = 1; iter <= options.maxIterations; ++iter) {
+        std::fill(usage.begin(), usage.end(), 0);
+
+        for (std::size_t ni = 0; ni < nets.size(); ++ni) {
+            const Net &net = nets[ni];
+            net_links[ni].clear();
+            net_delay[ni] = 0.0;
+
+            // Grow a routing tree from the source to every sink,
+            // reusing (and not re-charging) this net's own links.
+            std::fill(in_tree.begin(), in_tree.end(), 0);
+            in_tree[static_cast<std::size_t>(net.srcTile)] = 1;
+            tree_delay[static_cast<std::size_t>(net.srcTile)] = 0.0;
+            std::vector<int> tree_tiles{net.srcTile};
+
+            for (int sink : net.dstTiles) {
+                if (in_tree[static_cast<std::size_t>(sink)]) {
+                    net_delay[ni] = std::max(
+                        net_delay[ni],
+                        tree_delay[static_cast<std::size_t>(sink)]);
+                    continue;
+                }
+                std::fill(best_g.begin(), best_g.end(), 1e30);
+                std::fill(came_from.begin(), came_from.end(), -1);
+
+                Coord goal = topo.tileCoord(sink);
+                auto heuristic = [&](int tile) {
+                    // Cheapest per-distance cost is the diagonal
+                    // track at 0.7/unit; admissible.
+                    return 0.7 * topo.tileCoord(tile).manhattan(goal);
+                };
+
+                std::priority_queue<SearchNode,
+                                    std::vector<SearchNode>,
+                                    std::greater<SearchNode>>
+                    open;
+                for (int t : tree_tiles) {
+                    auto ti = static_cast<std::size_t>(t);
+                    best_g[ti] = tree_delay[ti];
+                    open.push(SearchNode{
+                        tree_delay[ti] + heuristic(t), tree_delay[ti],
+                        t});
+                }
+
+                while (!open.empty()) {
+                    SearchNode cur = open.top();
+                    open.pop();
+                    if (cur.tile == sink)
+                        break;
+                    if (cur.g > best_g[static_cast<std::size_t>(
+                                    cur.tile)] +
+                                    1e-12)
+                        continue;
+                    for (int link_id :
+                         rr.out[static_cast<std::size_t>(cur.tile)]) {
+                        const Link &link = rr.links[
+                            static_cast<std::size_t>(link_id)];
+                        double penalty = 1.0;
+                        int u = usage[static_cast<std::size_t>(link_id)];
+                        if (u + 1 > link.capacity) {
+                            penalty += options.presentFactor *
+                                       (u + 1 - link.capacity);
+                        }
+                        double cost =
+                            link.delay *
+                            (1.0 + history[static_cast<std::size_t>(
+                                       link_id)]) *
+                            penalty;
+                        double g2 = cur.g + cost;
+                        auto to = static_cast<std::size_t>(link.to);
+                        if (g2 < best_g[to] - 1e-12) {
+                            best_g[to] = g2;
+                            came_from[to] = link_id;
+                            open.push(SearchNode{
+                                g2 + heuristic(link.to), g2, link.to});
+                        }
+                    }
+                }
+
+                NUPEA_ASSERT(
+                    came_from[static_cast<std::size_t>(sink)] != -1,
+                    "net unreachable; routing graph disconnected");
+
+                // Walk back to the attachment point, claiming links.
+                std::vector<int> path;
+                int tile = sink;
+                while (!in_tree[static_cast<std::size_t>(tile)]) {
+                    int link_id =
+                        came_from[static_cast<std::size_t>(tile)];
+                    path.push_back(link_id);
+                    tile = rr.links[static_cast<std::size_t>(link_id)]
+                               .from;
+                }
+                // `tile` is the attach point; extend the tree.
+                double d = tree_delay[static_cast<std::size_t>(tile)];
+                for (auto it = path.rbegin(); it != path.rend(); ++it) {
+                    const Link &link =
+                        rr.links[static_cast<std::size_t>(*it)];
+                    ++usage[static_cast<std::size_t>(*it)];
+                    net_links[ni].push_back(*it);
+                    d += link.delay;
+                    auto to = static_cast<std::size_t>(link.to);
+                    in_tree[to] = 1;
+                    tree_delay[to] = d;
+                    tree_tiles.push_back(link.to);
+                }
+                net_delay[ni] = std::max(
+                    net_delay[ni],
+                    tree_delay[static_cast<std::size_t>(sink)]);
+            }
+        }
+
+        // Check for overuse and grow history costs.
+        std::size_t overused = 0;
+        for (std::size_t li = 0; li < rr.links.size(); ++li) {
+            if (usage[li] > rr.links[li].capacity) {
+                ++overused;
+                history[li] += options.historyIncrement *
+                               (usage[li] - rr.links[li].capacity);
+            }
+        }
+
+        result.iterations = iter;
+        result.overusedLinks = overused;
+        if (overused == 0) {
+            result.success = true;
+            break;
+        }
+    }
+
+    // Export final link occupancy for analysis and testing.
+    result.linkUsage = usage;
+    result.linkCapacity.reserve(rr.links.size());
+    for (const Link &link : rr.links)
+        result.linkCapacity.push_back(link.capacity);
+
+    // Gather per-net timing (raw wire delay, no penalty terms).
+    result.maxNetDelay = options.intraTileDelay;
+    result.totalWire = 0.0;
+    result.nets.clear();
+    result.nets.reserve(nets.size());
+    for (std::size_t ni = 0; ni < nets.size(); ++ni) {
+        NetRoute route;
+        route.src = nets[ni].src;
+        route.dstTile =
+            nets[ni].dstTiles.empty() ? -1 : nets[ni].dstTiles.back();
+        route.delay = net_delay[ni];
+        route.hops = static_cast<int>(net_links[ni].size());
+        for (int link_id : net_links[ni]) {
+            result.totalWire +=
+                rr.links[static_cast<std::size_t>(link_id)].delay;
+        }
+        result.maxNetDelay = std::max(result.maxNetDelay, route.delay);
+        result.nets.push_back(route);
+    }
+
+    return result;
+}
+
+} // namespace nupea

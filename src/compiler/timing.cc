@@ -1,0 +1,21 @@
+#include "compiler/timing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nupea
+{
+
+TimingResult
+analyzeTiming(const RouteResult &route, const TimingOptions &options)
+{
+    TimingResult result;
+    result.maxPathDelay = route.maxNetDelay + options.peDelay;
+    int divider = static_cast<int>(
+        std::ceil(result.maxPathDelay / options.cycleBudget));
+    result.clockDivider =
+        std::clamp(divider, 1, options.maxDivider);
+    return result;
+}
+
+} // namespace nupea

@@ -1,0 +1,315 @@
+#include "dfg/interp.h"
+
+#include "common/log.h"
+
+namespace nupea
+{
+
+Interp::Interp(const Graph &graph, std::vector<std::uint8_t> &memory)
+    : graph_(graph), mem_(memory)
+{
+    std::size_t n = graph_.numNodes();
+    fifos_.resize(n);
+    for (NodeId id = 0; id < n; ++id)
+        fifos_[id].resize(graph_.node(id).inputs.size());
+    mergeState_.assign(n, MergeState::Init);
+    holdState_.assign(n, HoldState::Empty);
+    heldValue_.assign(n, 0);
+    sourcePending_.assign(n, false);
+    for (NodeId id = 0; id < n; ++id) {
+        if (graph_.node(id).op == Op::Source)
+            sourcePending_[id] = true;
+    }
+}
+
+Word
+Interp::loadWord(Addr addr) const
+{
+    NUPEA_ASSERT(addr + 4 <= mem_.size(), "load out of bounds: ", addr);
+    NUPEA_ASSERT((addr & 3) == 0, "unaligned load: ", addr);
+    std::uint32_t v = 0;
+    v |= mem_[addr];
+    v |= static_cast<std::uint32_t>(mem_[addr + 1]) << 8;
+    v |= static_cast<std::uint32_t>(mem_[addr + 2]) << 16;
+    v |= static_cast<std::uint32_t>(mem_[addr + 3]) << 24;
+    return static_cast<Word>(v);
+}
+
+void
+Interp::storeWord(Addr addr, Word value)
+{
+    NUPEA_ASSERT(addr + 4 <= mem_.size(), "store out of bounds: ", addr);
+    NUPEA_ASSERT((addr & 3) == 0, "unaligned store: ", addr);
+    auto v = static_cast<std::uint32_t>(value);
+    mem_[addr] = static_cast<std::uint8_t>(v);
+    mem_[addr + 1] = static_cast<std::uint8_t>(v >> 8);
+    mem_[addr + 2] = static_cast<std::uint8_t>(v >> 16);
+    mem_[addr + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+bool
+Interp::peekInput(NodeId id, int port, Word &value) const
+{
+    const InputConn &in =
+        graph_.node(id).inputs[static_cast<std::size_t>(port)];
+    if (in.isImm) {
+        value = in.imm;
+        return true;
+    }
+    const auto &q = fifos_[id][static_cast<std::size_t>(port)];
+    if (q.empty())
+        return false;
+    value = q.front();
+    return true;
+}
+
+void
+Interp::popInput(NodeId id, int port)
+{
+    const InputConn &in =
+        graph_.node(id).inputs[static_cast<std::size_t>(port)];
+    if (in.isImm)
+        return;
+    auto &q = fifos_[id][static_cast<std::size_t>(port)];
+    NUPEA_ASSERT(!q.empty());
+    q.pop_front();
+}
+
+bool
+Interp::ready(NodeId id) const
+{
+    const Node &n = graph_.node(id);
+    Word v;
+    switch (n.op) {
+      case Op::Source:
+        return sourcePending_[id];
+      case Op::LoopMerge:
+        if (mergeState_[id] == MergeState::Init)
+            return peekInput(id, 0, v);
+        if (!peekInput(id, 2, v))
+            return false;
+        return v == 0 || peekInput(id, 1, v);
+      case Op::Invariant:
+      case Op::InvariantGated:
+        if (holdState_[id] == HoldState::Empty)
+            return peekInput(id, 0, v);
+        return peekInput(id, 1, v);
+      default:
+        for (std::size_t p = 0; p < n.inputs.size(); ++p) {
+            if (!peekInput(id, static_cast<int>(p), v))
+                return false;
+        }
+        return true;
+    }
+}
+
+void
+Interp::emit(NodeId id, Word value)
+{
+    for (const PortRef &dst : graph_.fanout()[id])
+        fifos_[dst.node][dst.port].push_back(value);
+}
+
+int
+Interp::fire(NodeId id, InterpResult &result)
+{
+    const Node &n = graph_.node(id);
+    Word a = 0, b = 0, c = 0;
+
+    switch (n.op) {
+      case Op::Source:
+        sourcePending_[id] = false;
+        emit(id, n.imm);
+        return 1;
+
+      case Op::Sink: {
+        peekInput(id, 0, a);
+        popInput(id, 0);
+        SinkRecord &rec = result.sinks[id];
+        ++rec.count;
+        rec.last = a;
+        rec.sum += a;
+        return 0;
+      }
+
+      case Op::LoopMerge:
+        if (mergeState_[id] == MergeState::Init) {
+            peekInput(id, 0, a);
+            popInput(id, 0);
+            mergeState_[id] = MergeState::Ctrl;
+            emit(id, a);
+            return 1;
+        }
+        peekInput(id, 2, c);
+        popInput(id, 2);
+        if (c != 0) {
+            peekInput(id, 1, a);
+            popInput(id, 1);
+            emit(id, a);
+            return 1;
+        }
+        mergeState_[id] = MergeState::Init;
+        return 0;
+
+      case Op::Invariant:
+        if (holdState_[id] == HoldState::Empty) {
+            peekInput(id, 0, a);
+            popInput(id, 0);
+            heldValue_[id] = a;
+            holdState_[id] = HoldState::Held;
+            emit(id, a); // condition-side flavor: emit on arrival
+            return 1;
+        }
+        peekInput(id, 1, c);
+        popInput(id, 1);
+        if (c != 0) {
+            emit(id, heldValue_[id]);
+            return 1;
+        }
+        holdState_[id] = HoldState::Empty;
+        return 0;
+
+      case Op::InvariantGated:
+        if (holdState_[id] == HoldState::Empty) {
+            peekInput(id, 0, a);
+            popInput(id, 0);
+            heldValue_[id] = a;
+            holdState_[id] = HoldState::Held;
+            return 0; // body-side flavor: wait for a true ctrl
+        }
+        peekInput(id, 1, c);
+        popInput(id, 1);
+        if (c != 0) {
+            emit(id, heldValue_[id]);
+            return 1;
+        }
+        holdState_[id] = HoldState::Empty;
+        return 0;
+
+      case Op::SteerTrue:
+      case Op::SteerFalse:
+        peekInput(id, 0, c);
+        peekInput(id, 1, a);
+        popInput(id, 0);
+        popInput(id, 1);
+        if ((c != 0) == (n.op == Op::SteerTrue)) {
+            emit(id, a);
+            return 1;
+        }
+        return 0;
+
+      case Op::Select:
+        peekInput(id, 0, c);
+        peekInput(id, 1, a);
+        peekInput(id, 2, b);
+        popInput(id, 0);
+        popInput(id, 1);
+        popInput(id, 2);
+        emit(id, c != 0 ? a : b);
+        return 1;
+
+      case Op::Load: {
+        peekInput(id, 0, a);
+        popInput(id, 0);
+        if (n.inputs.size() > 1)
+            popInput(id, 1);
+        Word v = loadWord(static_cast<Addr>(a));
+        ++result.loads;
+        emit(id, v);
+        return 1;
+      }
+
+      case Op::Store:
+        peekInput(id, 0, a);
+        peekInput(id, 1, b);
+        popInput(id, 0);
+        popInput(id, 1);
+        if (n.inputs.size() > 2)
+            popInput(id, 2);
+        storeWord(static_cast<Addr>(a), b);
+        ++result.stores;
+        emit(id, 0); // done token
+        return 1;
+
+      case Op::Neg:
+      case Op::Not:
+        peekInput(id, 0, a);
+        popInput(id, 0);
+        emit(id, evalUnary(n.op, a));
+        return 1;
+
+      default:
+        NUPEA_ASSERT(opIsBinaryArith(n.op), "unhandled op ", opName(n.op));
+        peekInput(id, 0, a);
+        peekInput(id, 1, b);
+        popInput(id, 0);
+        popInput(id, 1);
+        emit(id, evalBinary(n.op, a, b));
+        return 1;
+    }
+}
+
+InterpResult
+Interp::run(std::uint64_t max_firings)
+{
+    InterpResult result;
+
+    // Worklist execution: fire any ready node, seed consumers.
+    std::vector<NodeId> worklist;
+    std::vector<std::uint8_t> queued(graph_.numNodes(), 0);
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        worklist.push_back(id);
+        queued[id] = 1;
+    }
+
+    const auto &fanout = graph_.fanout();
+    while (!worklist.empty()) {
+        NodeId id = worklist.back();
+        worklist.pop_back();
+        queued[id] = 0;
+
+        while (ready(id)) {
+            fire(id, result);
+            ++result.firings;
+            if (result.firings > max_firings) {
+                result.problems.push_back(
+                    "firing bound exceeded (livelock?)");
+                return result;
+            }
+            for (const PortRef &dst : fanout[id]) {
+                if (!queued[dst.node]) {
+                    queued[dst.node] = 1;
+                    worklist.push_back(dst.node);
+                }
+            }
+        }
+    }
+
+    // Quiescent: verify no stranded state.
+    result.clean = true;
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        const Node &n = graph_.node(id);
+        for (std::size_t p = 0; p < n.inputs.size(); ++p) {
+            if (!fifos_[id][p].empty()) {
+                result.clean = false;
+                result.problems.push_back(formatMessage(
+                    fifos_[id][p].size(), " token(s) stranded at node ",
+                    id, " (", opName(n.op), ") port ", p));
+            }
+        }
+        if ((n.op == Op::Invariant || n.op == Op::InvariantGated) &&
+            holdState_[id] == HoldState::Held) {
+            result.clean = false;
+            result.problems.push_back(formatMessage(
+                "invariant node ", id, " still holds a value"));
+        }
+        if (n.op == Op::LoopMerge && mergeState_[id] != MergeState::Init) {
+            result.clean = false;
+            result.problems.push_back(formatMessage(
+                "merge node ", id, " not back in init state"));
+        }
+    }
+    return result;
+}
+
+} // namespace nupea

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Untimed dataflow interpreter.
+ *
+ * Executes a Graph functionally with unbounded token FIFOs and
+ * zero-latency memory. Used as the semantic reference for the timed
+ * microarchitectural simulator (both must produce identical memory
+ * contents and sink streams) and for fast workload validation.
+ */
+
+#ifndef NUPEA_DFG_INTERP_H
+#define NUPEA_DFG_INTERP_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "dfg/graph.h"
+
+namespace nupea
+{
+
+/** What a Sink node observed during execution. */
+struct SinkRecord
+{
+    std::uint64_t count = 0; ///< tokens consumed
+    Word last = 0;           ///< most recent value
+    std::int64_t sum = 0;    ///< running sum of values
+};
+
+/** Outcome of an interpreter run. */
+struct InterpResult
+{
+    bool clean = false;          ///< quiesced with no stranded tokens
+    std::uint64_t firings = 0;   ///< total node firings
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::map<NodeId, SinkRecord> sinks;
+    std::vector<std::string> problems; ///< stranded-token diagnostics
+};
+
+/**
+ * Functional executor over a flat byte-addressed memory. The memory
+ * is borrowed; callers own allocation and initialization.
+ */
+class Interp
+{
+  public:
+    /**
+     * @param graph  validated dataflow graph
+     * @param memory backing store; loads/stores must stay in bounds
+     */
+    Interp(const Graph &graph, std::vector<std::uint8_t> &memory);
+
+    /**
+     * Run to quiescence.
+     * @param max_firings safety bound; exceeding it marks the result
+     *                    not clean (livelock diagnosis)
+     */
+    InterpResult run(std::uint64_t max_firings = 500'000'000);
+
+  private:
+    enum class MergeState : std::uint8_t { Init, Ctrl };
+    enum class HoldState : std::uint8_t { Empty, Held };
+
+    bool ready(NodeId id) const;
+    /** Fire a ready node; returns tokens emitted (0 or 1). */
+    int fire(NodeId id, InterpResult &result);
+    void emit(NodeId id, Word value);
+
+    bool peekInput(NodeId id, int port, Word &value) const;
+    void popInput(NodeId id, int port);
+
+    Word loadWord(Addr addr) const;
+    void storeWord(Addr addr, Word value);
+
+    const Graph &graph_;
+    std::vector<std::uint8_t> &mem_;
+
+    /** Per-node, per-port token queues (unbounded). */
+    std::vector<std::vector<std::deque<Word>>> fifos_;
+    std::vector<MergeState> mergeState_;
+    std::vector<HoldState> holdState_;
+    std::vector<Word> heldValue_;
+    std::vector<bool> sourcePending_;
+};
+
+} // namespace nupea
+
+#endif // NUPEA_DFG_INTERP_H

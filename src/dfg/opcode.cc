@@ -1,0 +1,120 @@
+#include "dfg/opcode.h"
+
+#include "common/log.h"
+
+namespace nupea
+{
+
+namespace
+{
+
+constexpr OpTraits kTraits[kNumOps] = {
+    // name, fu, minIn, maxIn, combinational, isMemory
+    {"source", FuClass::XData, 0, 0, false, false},
+    {"sink", FuClass::XData, 1, 1, false, false},
+
+    {"add", FuClass::Arith, 2, 2, false, false},
+    {"sub", FuClass::Arith, 2, 2, false, false},
+    {"mul", FuClass::Arith, 2, 2, false, false},
+    {"div", FuClass::Arith, 2, 2, false, false},
+    {"rem", FuClass::Arith, 2, 2, false, false},
+    {"and", FuClass::Arith, 2, 2, false, false},
+    {"or", FuClass::Arith, 2, 2, false, false},
+    {"xor", FuClass::Arith, 2, 2, false, false},
+    {"shl", FuClass::Arith, 2, 2, false, false},
+    {"shr", FuClass::Arith, 2, 2, false, false},
+    {"min", FuClass::Arith, 2, 2, false, false},
+    {"max", FuClass::Arith, 2, 2, false, false},
+    {"eq", FuClass::Arith, 2, 2, false, false},
+    {"ne", FuClass::Arith, 2, 2, false, false},
+    {"lt", FuClass::Arith, 2, 2, false, false},
+    {"le", FuClass::Arith, 2, 2, false, false},
+    {"gt", FuClass::Arith, 2, 2, false, false},
+    {"ge", FuClass::Arith, 2, 2, false, false},
+
+    {"neg", FuClass::Arith, 1, 1, false, false},
+    {"not", FuClass::Arith, 1, 1, false, false},
+
+    {"select", FuClass::Arith, 3, 3, false, false},
+
+    {"steer_t", FuClass::Control, 2, 2, true, false},
+    {"steer_f", FuClass::Control, 2, 2, true, false},
+    {"merge", FuClass::Control, 3, 3, true, false},
+    {"invar", FuClass::Control, 2, 2, true, false},
+    {"invar_g", FuClass::Control, 2, 2, true, false},
+
+    {"load", FuClass::Mem, 1, 2, false, true},
+    {"store", FuClass::Mem, 2, 3, false, true},
+};
+
+} // namespace
+
+const OpTraits &
+opTraits(Op op)
+{
+    auto idx = static_cast<int>(op);
+    NUPEA_ASSERT(idx >= 0 && idx < kNumOps);
+    return kTraits[idx];
+}
+
+std::string_view
+opName(Op op)
+{
+    return opTraits(op).name;
+}
+
+bool
+opIsBinaryArith(Op op)
+{
+    auto i = static_cast<int>(op);
+    return i >= static_cast<int>(Op::Add) && i <= static_cast<int>(Op::Ge);
+}
+
+bool
+opIsUnaryArith(Op op)
+{
+    return op == Op::Neg || op == Op::Not;
+}
+
+std::int32_t
+evalBinary(Op op, std::int32_t a, std::int32_t b)
+{
+    switch (op) {
+      case Op::Add: return static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(a) + static_cast<std::uint32_t>(b));
+      case Op::Sub: return static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(a) - static_cast<std::uint32_t>(b));
+      case Op::Mul: return static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(a) * static_cast<std::uint32_t>(b));
+      case Op::Div: return b == 0 ? 0 : a / b;
+      case Op::Rem: return b == 0 ? 0 : a % b;
+      case Op::And: return a & b;
+      case Op::Or: return a | b;
+      case Op::Xor: return a ^ b;
+      case Op::Shl: return static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(a) << (b & 31));
+      case Op::Shr: return a >> (b & 31);
+      case Op::Min: return a < b ? a : b;
+      case Op::Max: return a > b ? a : b;
+      case Op::Eq: return a == b;
+      case Op::Ne: return a != b;
+      case Op::Lt: return a < b;
+      case Op::Le: return a <= b;
+      case Op::Gt: return a > b;
+      case Op::Ge: return a >= b;
+      default: panic("evalBinary: not a binary op: ", opName(op));
+    }
+}
+
+std::int32_t
+evalUnary(Op op, std::int32_t a)
+{
+    switch (op) {
+      case Op::Neg: return static_cast<std::int32_t>(
+          0u - static_cast<std::uint32_t>(a));
+      case Op::Not: return ~a;
+      default: panic("evalUnary: not a unary op: ", opName(op));
+    }
+}
+
+} // namespace nupea

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The Monaco-style dataflow instruction set.
+ *
+ * The set mirrors the paper's description (Sec. 4.1): general-purpose
+ * arithmetic, loads and stores, and steering control (phi^-1) that
+ * converts control dependencies into data dependencies. Control-flow
+ * instructions execute combinationally; arithmetic takes one fabric
+ * cycle; memory instructions have variable latency determined by the
+ * fabric-memory NoC and the memory system.
+ */
+
+#ifndef NUPEA_DFG_OPCODE_H
+#define NUPEA_DFG_OPCODE_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace nupea
+{
+
+/** Functional-unit class an instruction requires (paper Fig. 7). */
+enum class FuClass : std::uint8_t
+{
+    Arith,   ///< integer ALU
+    Control, ///< steer / merge / invariant; combinational
+    Mem,     ///< load-store FU; only present on LS PEs
+    XData,   ///< program arguments / sources / sinks
+};
+
+/** Dataflow opcode. */
+enum class Op : std::uint8_t
+{
+    // Sources and sinks (XData FU).
+    Source, ///< emits its immediate once at program start
+    Sink,   ///< consumes tokens, records count / last value / checksum
+
+    // Binary arithmetic (Arith FU, 1 fabric cycle).
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr,
+    Min, Max,
+    Eq, Ne, Lt, Le, Gt, Ge,
+
+    // Unary arithmetic (Arith FU, 1 fabric cycle).
+    Neg, Not,
+
+    // Ternary select: out = ctrl ? a : b (Arith FU).
+    Select,
+
+    // Steering control (Control FU, combinational).
+    SteerTrue,  ///< (ctrl, val): forward val if ctrl != 0, else drop both
+    SteerFalse, ///< (ctrl, val): forward val if ctrl == 0, else drop both
+
+    /**
+     * Decider-driven loop merge (Control FU, combinational).
+     * Inputs: (init, back, ctrl). First firing consumes init and emits
+     * it. Each later firing consumes a ctrl token: if true it also
+     * consumes a back token and emits it; if false the node resets and
+     * waits for the next init (next invocation of the loop).
+     */
+    LoopMerge,
+
+    /**
+     * Loop-invariant repeater for condition-side uses (Control FU).
+     * Inputs: (val, ctrl). Emits on val arrival, then once per true
+     * ctrl; a false ctrl discards the held value. For a loop running k
+     * body iterations it emits k+1 tokens, matching the k+1 condition
+     * evaluations.
+     */
+    Invariant,
+
+    /**
+     * Loop-invariant repeater for body-side uses (Control FU).
+     * Same as Invariant but does not emit on val arrival: emits once
+     * per true ctrl (k tokens for k body iterations).
+     */
+    InvariantGated,
+
+    // Memory (Mem FU, variable latency).
+    Load,  ///< (addr [, ord]) -> value; word-sized
+    Store, ///< (addr, val [, ord]) -> done token
+};
+
+/** Total number of opcodes; keep in sync with the enum. */
+constexpr int kNumOps = static_cast<int>(Op::Store) + 1;
+
+/** Static per-opcode properties. */
+struct OpTraits
+{
+    std::string_view name;
+    FuClass fu;
+    std::uint8_t minInputs;
+    std::uint8_t maxInputs;
+    bool combinational; ///< output visible in the firing cycle
+    bool isMemory;
+};
+
+/** Look up the traits of an opcode. */
+const OpTraits &opTraits(Op op);
+
+/** Printable opcode name. */
+std::string_view opName(Op op);
+
+/** True for the binary arithmetic/compare group (two value inputs). */
+bool opIsBinaryArith(Op op);
+
+/** True for Neg / Not. */
+bool opIsUnaryArith(Op op);
+
+/**
+ * Evaluate a binary arithmetic/compare op on two words. Division and
+ * remainder by zero yield 0 (the simulated machine saturates rather
+ * than trapping).
+ */
+std::int32_t evalBinary(Op op, std::int32_t a, std::int32_t b);
+
+/** Evaluate a unary arithmetic op. */
+std::int32_t evalUnary(Op op, std::int32_t a);
+
+} // namespace nupea
+
+#endif // NUPEA_DFG_OPCODE_H

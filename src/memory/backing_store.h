@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Flat byte-addressed backing store for the simulated machine, plus a
+ * bump allocator used by workloads to lay out their data structures.
+ */
+
+#ifndef NUPEA_MEMORY_BACKING_STORE_H
+#define NUPEA_MEMORY_BACKING_STORE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace nupea
+{
+
+/** Simulated main-memory contents (functional, no timing). */
+class BackingStore
+{
+  public:
+    explicit BackingStore(std::size_t bytes) : bytes_(bytes, 0) {}
+
+    std::size_t size() const { return bytes_.size(); }
+
+    /** Little-endian aligned word read. */
+    Word
+    loadWord(Addr addr) const
+    {
+        NUPEA_ASSERT(addr + 4 <= bytes_.size(), "load OOB at ", addr);
+        NUPEA_ASSERT((addr & 3) == 0, "unaligned load at ", addr);
+        std::uint32_t v =
+            bytes_[addr] |
+            (static_cast<std::uint32_t>(bytes_[addr + 1]) << 8) |
+            (static_cast<std::uint32_t>(bytes_[addr + 2]) << 16) |
+            (static_cast<std::uint32_t>(bytes_[addr + 3]) << 24);
+        return static_cast<Word>(v);
+    }
+
+    /** Little-endian aligned word write. */
+    void
+    storeWord(Addr addr, Word value)
+    {
+        NUPEA_ASSERT(addr + 4 <= bytes_.size(), "store OOB at ", addr);
+        NUPEA_ASSERT((addr & 3) == 0, "unaligned store at ", addr);
+        auto v = static_cast<std::uint32_t>(value);
+        bytes_[addr] = static_cast<std::uint8_t>(v);
+        bytes_[addr + 1] = static_cast<std::uint8_t>(v >> 8);
+        bytes_[addr + 2] = static_cast<std::uint8_t>(v >> 16);
+        bytes_[addr + 3] = static_cast<std::uint8_t>(v >> 24);
+    }
+
+    /**
+     * Allocate a block (word-aligned bump allocation starting at
+     * address 64; address 0 is reserved to catch null derefs).
+     */
+    Addr
+    alloc(std::size_t bytes, std::size_t align = 4)
+    {
+        NUPEA_ASSERT(align >= 1 && (align & (align - 1)) == 0);
+        std::size_t base = (next_ + align - 1) & ~(align - 1);
+        if (base + bytes > bytes_.size())
+            fatal("simulated memory exhausted: need ", bytes,
+                  " bytes at ", base, ", have ", bytes_.size());
+        next_ = base + bytes;
+        return static_cast<Addr>(base);
+    }
+
+    /** Allocate and zero-fill an array of `count` words. */
+    Addr
+    allocWords(std::size_t count)
+    {
+        return alloc(count * 4, 4);
+    }
+
+    /** Bytes allocated so far. */
+    std::size_t allocated() const { return next_; }
+
+    /** Access the raw bytes (e.g., for the untimed interpreter). */
+    std::vector<std::uint8_t> &raw() { return bytes_; }
+    const std::vector<std::uint8_t> &raw() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    std::size_t next_ = 64;
+};
+
+} // namespace nupea
+
+#endif // NUPEA_MEMORY_BACKING_STORE_H

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Energy accounting (extension).
+ *
+ * The paper's authors build energy-minimal dataflow systems; while
+ * the NUPEA paper evaluates performance only, the same mechanisms
+ * (shorter fabric-memory paths for hot loads) translate directly
+ * into data-movement energy. This model charges abstract energy
+ * units per event:
+ *  - firing a functional unit (by FU class);
+ *  - moving one token across the data NoC (per Manhattan hop between
+ *    producer and consumer tiles, using the placement);
+ *  - each fabric-memory arbitration stage crossed (request+response);
+ *  - each cache hit / miss at the banks.
+ *
+ * Absolute values are abstract; ratios between configurations are
+ * the meaningful output (e.g., NUPEA vs UPEA data-movement energy).
+ */
+
+#ifndef NUPEA_SIM_ENERGY_H
+#define NUPEA_SIM_ENERGY_H
+
+namespace nupea
+{
+
+/** Per-event energy costs (abstract units). */
+struct EnergyParams
+{
+    double arithFire = 1.0;
+    double controlFire = 0.25;
+    double xdataFire = 0.3;
+    double memIssue = 0.5;      ///< LS FU activation per access
+    double noCHopPerToken = 0.6;
+    double arbHop = 0.5;        ///< per fabric-memory arbiter stage
+    double cacheHit = 2.5;
+    double cacheMiss = 10.0;    ///< includes the main-memory access
+};
+
+/** Accumulated energy, split by subsystem. */
+struct EnergyBreakdown
+{
+    double compute = 0.0; ///< FU firings
+    double network = 0.0; ///< data NoC token movement
+    double memory = 0.0;  ///< fabric-memory NoC + banks
+
+    double total() const { return compute + network + memory; }
+};
+
+} // namespace nupea
+
+#endif // NUPEA_SIM_ENERGY_H

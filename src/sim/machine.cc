@@ -1,0 +1,501 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/log.h"
+
+namespace nupea
+{
+
+Machine::Machine(const Graph &graph, const Placement &placement,
+                 const Topology &topo, const MachineConfig &config,
+                 BackingStore &store)
+    : graph_(graph), placement_(placement), topo_(topo), config_(config),
+      store_(store), memsys_(config.memsys, store)
+{
+    NUPEA_ASSERT(config_.clockDivider >= 1);
+    NUPEA_ASSERT(config_.fifoDepth >= 1);
+
+    MemModelConfig mm = config_.mem;
+    mm.clockDivider = config_.clockDivider;
+    memModel_ = makeMemAccessModel(mm, topo_, memsys_);
+
+    std::size_t n = graph_.numNodes();
+    NUPEA_ASSERT(placement_.pos.size() == n,
+                 "placement does not cover the graph");
+    fifos_.resize(n);
+    for (NodeId id = 0; id < n; ++id)
+        fifos_[id].resize(graph_.node(id).inputs.size());
+    mergeState_.assign(n, MergeState::Init);
+    holdState_.assign(n, HoldState::Empty);
+    heldValue_.assign(n, 0);
+    sourcePending_.assign(n, false);
+    firedAt_.assign(n, kNoCycle);
+    inNow_.assign(n, 0);
+    inNext_.assign(n, 0);
+    pendingResp_.resize(n);
+    outstanding_.assign(n, 0);
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = graph_.node(id);
+        if (node.op == Op::Source) {
+            sourcePending_[id] = true;
+            listNext_.push_back(id);
+            inNext_[id] = 1;
+        }
+        if (opTraits(node.op).isMemory)
+            memNodes_.push_back(id);
+    }
+}
+
+void
+Machine::activate(NodeId id, Cycle cycle)
+{
+    // Only the current and the next fabric cycle are directly
+    // schedulable; later events go through the wakeup heap. A node
+    // may sit on both lists at once (e.g., credit freed this cycle
+    // while a token arrives next cycle); membership is tracked
+    // independently so no wakeup is ever lost.
+    if (cycle <= now_) {
+        if (!inNow_[id]) {
+            inNow_[id] = 1;
+            listNow_.push_back(id);
+        }
+    } else {
+        if (!inNext_[id]) {
+            inNext_[id] = 1;
+            listNext_.push_back(id);
+        }
+    }
+}
+
+bool
+Machine::inputVisible(NodeId id, int port, Word &value) const
+{
+    const InputConn &in =
+        graph_.node(id).inputs[static_cast<std::size_t>(port)];
+    if (in.isImm) {
+        value = in.imm;
+        return true;
+    }
+    const auto &q = fifos_[id][static_cast<std::size_t>(port)];
+    if (q.empty() || q.front().visibleAt > now_)
+        return false;
+    value = q.front().value;
+    return true;
+}
+
+void
+Machine::popInput(NodeId id, int port)
+{
+    const InputConn &in =
+        graph_.node(id).inputs[static_cast<std::size_t>(port)];
+    if (in.isImm)
+        return;
+    auto &q = fifos_[id][static_cast<std::size_t>(port)];
+    NUPEA_ASSERT(!q.empty());
+    q.pop_front();
+    // Freed credit may unblock the producer, this cycle.
+    if (in.src != kInvalidId)
+        activate(in.src, now_);
+}
+
+bool
+Machine::outputsHaveCredit(NodeId id) const
+{
+    for (const PortRef &dst : graph_.fanout()[id]) {
+        const auto &q = fifos_[dst.node][dst.port];
+        if (q.size() >= static_cast<std::size_t>(config_.fifoDepth))
+            return false;
+    }
+    return true;
+}
+
+void
+Machine::emit(NodeId id, Word value, Cycle visible_at)
+{
+    Coord src = placement_.of(id);
+    for (const PortRef &dst : graph_.fanout()[id]) {
+        result_.energy.network +=
+            config_.energy.noCHopPerToken *
+            src.manhattan(placement_.of(dst.node));
+        auto &q = fifos_[dst.node][dst.port];
+        NUPEA_ASSERT(q.size() < static_cast<std::size_t>(config_.fifoDepth),
+                     "emit without credit");
+        q.push_back(Token{value, visible_at});
+        activate(dst.node, visible_at);
+    }
+}
+
+bool
+Machine::ready(NodeId id) const
+{
+    const Node &n = graph_.node(id);
+    Word v;
+    switch (n.op) {
+      case Op::Source:
+        return sourcePending_[id] && outputsHaveCredit(id);
+      case Op::Sink:
+        return inputVisible(id, 0, v);
+      case Op::LoopMerge:
+        if (!outputsHaveCredit(id))
+            return false;
+        if (mergeState_[id] == MergeState::Init)
+            return inputVisible(id, 0, v);
+        if (!inputVisible(id, 2, v))
+            return false;
+        return v == 0 || inputVisible(id, 1, v);
+      case Op::Invariant:
+      case Op::InvariantGated:
+        if (!outputsHaveCredit(id))
+            return false;
+        if (holdState_[id] == HoldState::Empty)
+            return inputVisible(id, 0, v);
+        return inputVisible(id, 1, v);
+      case Op::Load:
+      case Op::Store:
+        if (outstanding_[id] >= config_.maxOutstanding)
+            return false;
+        for (std::size_t p = 0; p < n.inputs.size(); ++p) {
+            if (!inputVisible(id, static_cast<int>(p), v))
+                return false;
+        }
+        return true;
+      default:
+        if (!outputsHaveCredit(id))
+            return false;
+        for (std::size_t p = 0; p < n.inputs.size(); ++p) {
+            if (!inputVisible(id, static_cast<int>(p), v))
+                return false;
+        }
+        return true;
+    }
+}
+
+void
+Machine::fire(NodeId id)
+{
+    const Node &n = graph_.node(id);
+    const bool comb = opTraits(n.op).combinational;
+    const Cycle out_cycle = comb ? now_ : now_ + 1;
+    Word a = 0, b = 0, c = 0;
+    ++result_.firings;
+    switch (opTraits(n.op).fu) {
+      case FuClass::Arith:
+        result_.energy.compute += config_.energy.arithFire;
+        break;
+      case FuClass::Control:
+        result_.energy.compute += config_.energy.controlFire;
+        break;
+      case FuClass::Mem:
+        result_.energy.memory += config_.energy.memIssue;
+        break;
+      case FuClass::XData:
+        result_.energy.compute += config_.energy.xdataFire;
+        break;
+    }
+    firedAt_[id] = now_;
+    if (config_.trace) {
+        *config_.trace << "cycle " << now_ << " fire " << id << " "
+                       << opName(n.op) << " @"
+                       << placement_.of(id).str() << "\n";
+    }
+    // The node may have more queued work next cycle.
+    activate(id, now_ + 1);
+
+    switch (n.op) {
+      case Op::Source:
+        sourcePending_[id] = false;
+        emit(id, n.imm, out_cycle);
+        return;
+
+      case Op::Sink: {
+        inputVisible(id, 0, a);
+        popInput(id, 0);
+        SinkRecord &rec = result_.sinks[id];
+        ++rec.count;
+        rec.last = a;
+        rec.sum += a;
+        return;
+      }
+
+      case Op::LoopMerge:
+        if (mergeState_[id] == MergeState::Init) {
+            inputVisible(id, 0, a);
+            popInput(id, 0);
+            mergeState_[id] = MergeState::Ctrl;
+            emit(id, a, out_cycle);
+            return;
+        }
+        inputVisible(id, 2, c);
+        popInput(id, 2);
+        if (c != 0) {
+            inputVisible(id, 1, a);
+            popInput(id, 1);
+            emit(id, a, out_cycle);
+        } else {
+            mergeState_[id] = MergeState::Init;
+        }
+        return;
+
+      case Op::Invariant:
+        if (holdState_[id] == HoldState::Empty) {
+            inputVisible(id, 0, a);
+            popInput(id, 0);
+            heldValue_[id] = a;
+            holdState_[id] = HoldState::Held;
+            emit(id, a, out_cycle);
+            return;
+        }
+        inputVisible(id, 1, c);
+        popInput(id, 1);
+        if (c != 0)
+            emit(id, heldValue_[id], out_cycle);
+        else
+            holdState_[id] = HoldState::Empty;
+        return;
+
+      case Op::InvariantGated:
+        if (holdState_[id] == HoldState::Empty) {
+            inputVisible(id, 0, a);
+            popInput(id, 0);
+            heldValue_[id] = a;
+            holdState_[id] = HoldState::Held;
+            return;
+        }
+        inputVisible(id, 1, c);
+        popInput(id, 1);
+        if (c != 0)
+            emit(id, heldValue_[id], out_cycle);
+        else
+            holdState_[id] = HoldState::Empty;
+        return;
+
+      case Op::SteerTrue:
+      case Op::SteerFalse:
+        inputVisible(id, 0, c);
+        inputVisible(id, 1, a);
+        popInput(id, 0);
+        popInput(id, 1);
+        if ((c != 0) == (n.op == Op::SteerTrue))
+            emit(id, a, out_cycle);
+        return;
+
+      case Op::Select:
+        inputVisible(id, 0, c);
+        inputVisible(id, 1, a);
+        inputVisible(id, 2, b);
+        popInput(id, 0);
+        popInput(id, 1);
+        popInput(id, 2);
+        emit(id, c != 0 ? a : b, out_cycle);
+        return;
+
+      case Op::Load:
+      case Op::Store: {
+        const bool is_store = n.op == Op::Store;
+        inputVisible(id, 0, a); // address
+        Word data = 0;
+        if (is_store)
+            inputVisible(id, 1, data);
+        for (std::size_t p = 0; p < n.inputs.size(); ++p)
+            popInput(id, static_cast<int>(p));
+
+        Cycle issue_sys = now_ * static_cast<Cycle>(config_.clockDivider);
+        MemAccessOutcome out = memModel_->access(
+            placement_.of(id), static_cast<Addr>(a), is_store, data,
+            issue_sys);
+        // Data-movement energy on the fabric-memory path: one stage
+        // each way per domain crossed (Monaco), or the equivalent
+        // uniform-network cost for the baselines.
+        double stages;
+        if (config_.mem.model == MemModel::Upea ||
+            config_.mem.model == MemModel::NumaUpea) {
+            stages = 2.0 * config_.mem.upeaLatency;
+        } else {
+            stages = 2.0 * out.domain;
+        }
+        result_.energy.memory +=
+            config_.energy.arbHop * stages +
+            (out.hit ? config_.energy.cacheHit
+                     : config_.energy.cacheMiss);
+        if (is_store)
+            ++result_.stores;
+        else
+            ++result_.loads;
+
+        // Response consumable at the first fabric edge at or after
+        // system-cycle completion, never before the next fabric cycle.
+        Cycle div = static_cast<Cycle>(config_.clockDivider);
+        Cycle fabric_ready =
+            std::max<Cycle>((out.completeAt + div - 1) / div, now_ + 1);
+        pendingResp_[id].push_back(
+            PendingResponse{is_store ? Word{0} : out.data, fabric_ready});
+        ++outstanding_[id];
+        wakeups_.push(fabric_ready);
+        return;
+      }
+
+      case Op::Neg:
+      case Op::Not:
+        inputVisible(id, 0, a);
+        popInput(id, 0);
+        emit(id, evalUnary(n.op, a), out_cycle);
+        return;
+
+      default:
+        NUPEA_ASSERT(opIsBinaryArith(n.op), "unhandled op ", opName(n.op));
+        inputVisible(id, 0, a);
+        inputVisible(id, 1, b);
+        popInput(id, 0);
+        popInput(id, 1);
+        emit(id, evalBinary(n.op, a, b), out_cycle);
+        return;
+    }
+}
+
+void
+Machine::deliverResponses()
+{
+    // Deliver the oldest due response of every memory node (one per
+    // node per cycle: the PE's single output port).
+    for (NodeId id : memNodes_) {
+        auto &pending = pendingResp_[id];
+        if (pending.empty() || pending.front().fabricReady > now_)
+            continue;
+        if (!outputsHaveCredit(id)) {
+            activate(id, now_ + 1); // retry next cycle
+            continue;
+        }
+        emit(id, pending.front().value, now_);
+        pending.pop_front();
+        --outstanding_[id];
+        activate(id, now_); // an issue slot freed up
+        if (!pending.empty())
+            wakeups_.push(std::max(pending.front().fabricReady, now_ + 1));
+    }
+}
+
+void
+Machine::checkCleanliness()
+{
+    result_.clean = true;
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        const Node &n = graph_.node(id);
+        for (std::size_t p = 0; p < n.inputs.size(); ++p) {
+            if (!fifos_[id][p].empty()) {
+                result_.clean = false;
+                result_.problem = formatMessage(
+                    "token stranded at node ", id, " (", opName(n.op),
+                    ") port ", p);
+                return;
+            }
+        }
+        if ((n.op == Op::Invariant || n.op == Op::InvariantGated) &&
+            holdState_[id] == HoldState::Held) {
+            result_.clean = false;
+            result_.problem =
+                formatMessage("invariant ", id, " still holds a value");
+            return;
+        }
+        if (n.op == Op::LoopMerge && mergeState_[id] != MergeState::Init) {
+            result_.clean = false;
+            result_.problem =
+                formatMessage("merge ", id, " not in init state");
+            return;
+        }
+        if (!pendingResp_[id].empty()) {
+            result_.clean = false;
+            result_.problem = formatMessage(
+                "memory node ", id, " has undelivered responses");
+            return;
+        }
+    }
+}
+
+RunResult
+Machine::run()
+{
+    while (now_ < config_.maxFabricCycles) {
+        // Roll the next-cycle list into the current one. listNow_
+        // is always fully drained before the roll, so the membership
+        // flags can simply swap as well.
+        listNow_.swap(listNext_);
+        listNext_.clear();
+        inNow_.swap(inNext_);
+        std::fill(inNext_.begin(), inNext_.end(), 0);
+
+        deliverResponses();
+
+        // Fixpoint over this cycle: combinational outputs are visible
+        // immediately, so firing cascades; each node fires at most
+        // once per fabric cycle. The list grows while we walk it.
+        bool any_activity = false;
+        for (std::size_t i = 0; i < listNow_.size(); ++i) {
+            NodeId id = listNow_[i];
+            inNow_[id] = 0;
+            if (firedAt_[id] == now_) {
+                // Already fired this cycle; try again next cycle.
+                activate(id, now_ + 1);
+                continue;
+            }
+            if (!ready(id))
+                continue;
+            fire(id);
+            any_activity = true;
+        }
+        listNow_.clear();
+
+        ++now_;
+
+        if (listNext_.empty()) {
+            bool in_flight = false;
+            for (NodeId id : memNodes_)
+                in_flight = in_flight || !pendingResp_[id].empty();
+            if (!any_activity && !in_flight)
+                break; // fully quiescent
+
+            // Fast-forward to the next response if nothing else runs.
+            while (!wakeups_.empty() && wakeups_.top() <= now_)
+                wakeups_.pop();
+            if (in_flight && !wakeups_.empty()) {
+                now_ = wakeups_.top();
+                // Queue every memory node with pending responses for
+                // the cycle we jumped to (the next loop iteration).
+                for (NodeId id : memNodes_) {
+                    if (!pendingResp_[id].empty() && !inNext_[id]) {
+                        inNext_[id] = 1;
+                        listNext_.push_back(id);
+                    }
+                }
+            }
+        }
+    }
+
+    result_.fabricCycles = now_;
+    result_.systemCycles =
+        now_ * static_cast<Cycle>(config_.clockDivider);
+    result_.finished = now_ < config_.maxFabricCycles;
+    if (!result_.finished) {
+        result_.problem = "fabric-cycle watchdog expired";
+        result_.clean = false;
+    } else {
+        checkCleanliness();
+    }
+
+    for (const auto &[name, value] : memModel_->stats().counters())
+        result_.stats.counter("fmnoc." + name) = value;
+    for (const auto &[name, d] : memModel_->stats().dists())
+        result_.stats.dist("fmnoc." + name) = d;
+    for (const auto &[name, value] : memsys_.stats().counters())
+        result_.stats.counter("mem." + name) = value;
+    for (const auto &[name, d] : memsys_.stats().dists())
+        result_.stats.dist("mem." + name) = d;
+    result_.stats.counter("firings") = result_.firings;
+    result_.stats.counter("fabric_cycles") = result_.fabricCycles;
+    result_.stats.counter("system_cycles") = result_.systemCycles;
+
+    return result_;
+}
+
+} // namespace nupea

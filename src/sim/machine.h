@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The cycle-level Monaco machine model.
+ *
+ * Executes a placed dataflow graph under ordered-dataflow semantics
+ * (paper Sec. 4.1): tokens queue in bounded per-operand FIFOs; a node
+ * fires when all required operands are present and every consumer
+ * FIFO has space; each PE fires at most one instruction per fabric
+ * cycle. Arithmetic takes one fabric cycle; control flow (steer,
+ * merge, invariant) executes combinationally — its outputs are
+ * visible within the firing cycle. Loads and stores issue requests
+ * into a fabric-memory access model and deliver their result tokens
+ * when the response returns, in issue order.
+ *
+ * Two clocks (paper Sec. 4.2): PEs step on the fabric clock; memory
+ * and the fabric-memory NoC run on the system clock, `clockDivider`
+ * times faster.
+ */
+
+#ifndef NUPEA_SIM_MACHINE_H
+#define NUPEA_SIM_MACHINE_H
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "compiler/placement.h"
+#include "dfg/graph.h"
+#include "dfg/interp.h" // SinkRecord
+#include "fabric/topology.h"
+#include "memory/backing_store.h"
+#include "memory/memsys.h"
+#include "sim/energy.h"
+#include "sim/mem_model.h"
+
+namespace nupea
+{
+
+/** Full machine configuration. */
+struct MachineConfig
+{
+    MemModelConfig mem;
+    MemSysConfig memsys;
+    /** Fabric clock divider (from PnR static timing). */
+    int clockDivider = 2;
+    /** Token FIFO depth per input operand. */
+    int fifoDepth = 2;
+    /** Maximum in-flight memory requests per LS PE. */
+    int maxOutstanding = 4;
+    /** Watchdog bound on simulated fabric cycles. */
+    Cycle maxFabricCycles = 100'000'000;
+    /** Energy-accounting cost table. */
+    EnergyParams energy;
+    /**
+     * Optional firing trace: one line per node firing
+     * ("cycle <n> fire <id> <op> @(r,c)"). Borrowed; may be null.
+     */
+    std::ostream *trace = nullptr;
+};
+
+/** Outcome of one simulation. */
+struct RunResult
+{
+    bool finished = false; ///< quiesced before the watchdog
+    bool clean = false;    ///< no stranded tokens / held state
+    Cycle fabricCycles = 0;
+    Cycle systemCycles = 0;
+    std::uint64_t firings = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::map<NodeId, SinkRecord> sinks;
+    std::string problem;
+    StatSet stats;
+    EnergyBreakdown energy;
+};
+
+/**
+ * One compiled-and-placed program on one fabric. The BackingStore is
+ * borrowed: workloads initialize it before run() and verify it after.
+ */
+class Machine
+{
+  public:
+    Machine(const Graph &graph, const Placement &placement,
+            const Topology &topo, const MachineConfig &config,
+            BackingStore &store);
+
+    /** Simulate to quiescence (or the watchdog). Single use. */
+    RunResult run();
+
+  private:
+    struct Token
+    {
+        Word value;
+        Cycle visibleAt; ///< fabric cycle it becomes consumable
+    };
+
+    enum class MergeState : std::uint8_t { Init, Ctrl };
+    enum class HoldState : std::uint8_t { Empty, Held };
+
+    /** Per-node pending memory response (delivered in order). */
+    struct PendingResponse
+    {
+        Word value;
+        Cycle fabricReady; ///< earliest delivery fabric cycle
+    };
+
+    bool inputVisible(NodeId id, int port, Word &value) const;
+    void popInput(NodeId id, int port);
+    bool outputsHaveCredit(NodeId id) const;
+    void emit(NodeId id, Word value, Cycle visible_at);
+    bool ready(NodeId id) const;
+    /** Fire a ready node (must be ready). */
+    void fire(NodeId id);
+    /** Schedule a readiness re-check for `id` at `cycle`. */
+    void activate(NodeId id, Cycle cycle);
+
+    void deliverResponses();
+    void checkCleanliness();
+
+    const Graph &graph_;
+    const Placement &placement_;
+    const Topology &topo_;
+    MachineConfig config_;
+    BackingStore &store_;
+    MemorySystem memsys_;
+    std::unique_ptr<MemAccessModel> memModel_;
+
+    Cycle now_ = 0; ///< current fabric cycle
+
+    std::vector<std::vector<std::deque<Token>>> fifos_;
+    std::vector<MergeState> mergeState_;
+    std::vector<HoldState> holdState_;
+    std::vector<Word> heldValue_;
+    std::vector<bool> sourcePending_;
+    /** Fabric cycle each node last fired (<= 1 firing per cycle). */
+    std::vector<Cycle> firedAt_;
+    /** Worklist membership flags for the current / next cycle. */
+    std::vector<std::uint8_t> inNow_;
+    std::vector<std::uint8_t> inNext_;
+
+    /** In-flight memory responses per LS node, in issue order. */
+    std::vector<std::deque<PendingResponse>> pendingResp_;
+    std::vector<int> outstanding_;
+    std::vector<NodeId> memNodes_;
+    /** Min-heap of fabric cycles with scheduled response deliveries. */
+    std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
+        wakeups_;
+
+    /** Worklists for the current and next fabric cycle. */
+    std::vector<NodeId> listNow_;
+    std::vector<NodeId> listNext_;
+
+    RunResult result_;
+};
+
+} // namespace nupea
+
+#endif // NUPEA_SIM_MACHINE_H

@@ -1,0 +1,276 @@
+#include "sim/mem_model.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace nupea
+{
+
+std::string_view
+memModelName(MemModel model)
+{
+    switch (model) {
+      case MemModel::Monaco: return "monaco";
+      case MemModel::Upea: return "upea";
+      case MemModel::NumaUpea: return "numa-upea";
+      case MemModel::NupeaNuma: return "nupea+numa";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * A single-server pipeline stage with 1-per-cycle throughput and a
+ * fixed latency: arbiters (latency 1) and ports (latency 0).
+ */
+struct Stage
+{
+    Cycle lastDepart = 0;
+    Cycle latency = 1;
+
+    /** Push one item arriving at `t`; returns its departure time. */
+    Cycle
+    pass(Cycle t)
+    {
+        Cycle depart = std::max(t + latency, lastDepart + 1);
+        lastDepart = depart;
+        return depart;
+    }
+};
+
+/** Monaco's hierarchical fabric-memory NoC. */
+class MonacoMemModel : public MemAccessModel
+{
+  public:
+    MonacoMemModel(const MemModelConfig &config, const Topology &topo,
+                   MemorySystem &memsys, bool hybrid_numa)
+        : topo_(topo), memsys_(memsys), hybridNuma_(hybrid_numa),
+          numaDomains_(std::max(1, config.numaDomains)),
+          lineBytes_(memsys.config().cache.lineBytes)
+    {
+        int rows = topo.numLsRows();
+        int domains = topo.numDomains();
+        // Request and response arbiter stages per (LS row, domain>=1).
+        reqArb_.assign(static_cast<std::size_t>(rows * domains), Stage{});
+        respArb_.assign(static_cast<std::size_t>(rows * domains),
+                        Stage{});
+        reqPort_.assign(static_cast<std::size_t>(topo.memPorts()),
+                        Stage{.lastDepart = 0, .latency = 0});
+    }
+
+    MemAccessOutcome
+    access(Coord tile, Addr addr, bool is_store, Word data,
+           Cycle issue) override
+    {
+        int domain = topo_.domainOf(tile);
+        NUPEA_ASSERT(domain >= 0, "memory access from non-LS tile ",
+                     tile.str());
+        int ls_row = lsRowOf(tile);
+
+        // Hybrid extension: an access to the row group's local
+        // memory slice bypasses arbitration in both directions.
+        bool local = false;
+        if (hybridNuma_) {
+            int addr_group = static_cast<int>(
+                (addr / static_cast<Addr>(lineBytes_)) %
+                static_cast<Addr>(numaDomains_));
+            int row_group = ls_row * numaDomains_ / topo_.numLsRows();
+            local = addr_group == row_group;
+            stats_.counter(local ? "local_accesses"
+                                 : "remote_accesses") += 1;
+        }
+
+        // Request path: one flopped arbiter per domain crossed
+        // (domain d goes through arbiters d, d-1, ..., 1).
+        Cycle t = issue;
+        if (!local) {
+            for (int d = domain; d >= 1; --d)
+                t = arb(reqArb_, ls_row, d).pass(t);
+
+            // Port stage: D0 tiles on the shared column and all
+            // arbitrated traffic contend for the shared port; other
+            // D0 tiles own their port.
+            int port = topo_.portOf(tile);
+            t = reqPort_[static_cast<std::size_t>(port)].pass(t);
+        }
+
+        if (t > issue)
+            stats_.dist("req_network_delay").sample(
+                static_cast<double>(t - issue));
+
+        MemAccessResult bank = memsys_.access(addr, is_store, data, t);
+
+        // Response path mirrors the request arbitration distance.
+        Cycle r = bank.completeAt;
+        if (!local) {
+            for (int d = 1; d <= domain; ++d)
+                r = arb(respArb_, ls_row, d).pass(r);
+        }
+
+        stats_.dist("latency_total").sample(
+            static_cast<double>(r - issue));
+        stats_.dist(formatMessage("latency_domain", domain))
+            .sample(static_cast<double>(r - issue));
+
+        MemAccessOutcome out;
+        out.completeAt = r;
+        out.hit = bank.hit;
+        out.data = bank.data;
+        out.domain = domain;
+        return out;
+    }
+
+  private:
+    int
+    lsRowOf(Coord tile) const
+    {
+        int idx = topo_.lsRowIndex(tile.row);
+        NUPEA_ASSERT(idx >= 0);
+        return idx;
+    }
+
+    Stage &
+    arb(std::vector<Stage> &stages, int ls_row, int domain)
+    {
+        return stages[static_cast<std::size_t>(
+            ls_row * topo_.numDomains() + domain)];
+    }
+
+    const Topology &topo_;
+    MemorySystem &memsys_;
+    bool hybridNuma_;
+    int numaDomains_;
+    int lineBytes_;
+    std::vector<Stage> reqArb_;
+    std::vector<Stage> respArb_;
+    std::vector<Stage> reqPort_;
+};
+
+/** Uniform-PE-access baseline: fixed N-fabric-cycle path delay. */
+class UpeaMemModel : public MemAccessModel
+{
+  public:
+    UpeaMemModel(const MemModelConfig &config, MemorySystem &memsys)
+        : memsys_(memsys),
+          delaySys_(static_cast<Cycle>(config.upeaLatency) *
+                    static_cast<Cycle>(config.clockDivider))
+    {}
+
+    MemAccessOutcome
+    access(Coord tile, Addr addr, bool is_store, Word data,
+           Cycle issue) override
+    {
+        (void)tile;
+        // The baselines "model only the delay from UPEA and do not
+        // explicitly arbitrate memory requests to memory ports"
+        // (paper Sec. 6): requests go straight to the banks after
+        // the uniform network delay.
+        MemAccessResult bank =
+            memsys_.access(addr, is_store, data, issue + delaySys_);
+        stats_.dist("latency_total").sample(
+            static_cast<double>(bank.completeAt - issue));
+        MemAccessOutcome out;
+        out.completeAt = bank.completeAt;
+        out.hit = bank.hit;
+        out.data = bank.data;
+        out.domain = 0;
+        return out;
+    }
+
+  private:
+    MemorySystem &memsys_;
+    Cycle delaySys_;
+};
+
+/** UPEA + NUMA: random PE->domain map, interleaved address space. */
+class NumaUpeaMemModel : public MemAccessModel
+{
+  public:
+    NumaUpeaMemModel(const MemModelConfig &config, const Topology &topo,
+                     MemorySystem &memsys)
+        : topo_(topo), memsys_(memsys),
+          delaySys_(static_cast<Cycle>(config.upeaLatency) *
+                    static_cast<Cycle>(config.clockDivider)),
+          numaDomains_(config.numaDomains),
+          lineBytes_(memsys.config().cache.lineBytes)
+    {
+        Rng rng(config.seed);
+        peDomain_.assign(static_cast<std::size_t>(topo.numTiles()), 0);
+        for (int idx = 0; idx < topo.numTiles(); ++idx) {
+            if (topo.isLs(topo.tileCoord(idx))) {
+                peDomain_[static_cast<std::size_t>(idx)] =
+                    static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(numaDomains_)));
+            }
+        }
+    }
+
+    /** NUMA domain owning an address (line-interleaved). */
+    int
+    domainOfAddr(Addr addr) const
+    {
+        return static_cast<int>(
+            (addr / static_cast<Addr>(lineBytes_)) %
+            static_cast<Addr>(numaDomains_));
+    }
+
+    /** NUMA domain an LS tile belongs to. */
+    int
+    domainOfTile(Coord tile) const
+    {
+        return peDomain_[static_cast<std::size_t>(topo_.tileIndex(tile))];
+    }
+
+    MemAccessOutcome
+    access(Coord tile, Addr addr, bool is_store, Word data,
+           Cycle issue) override
+    {
+        bool local = domainOfTile(tile) == domainOfAddr(addr);
+        Cycle delay = local ? 0 : delaySys_;
+        stats_.counter(local ? "local_accesses" : "remote_accesses") += 1;
+        MemAccessResult bank =
+            memsys_.access(addr, is_store, data, issue + delay);
+        stats_.dist("latency_total").sample(
+            static_cast<double>(bank.completeAt - issue));
+        MemAccessOutcome out;
+        out.completeAt = bank.completeAt;
+        out.hit = bank.hit;
+        out.data = bank.data;
+        out.domain = domainOfTile(tile);
+        return out;
+    }
+
+  private:
+    const Topology &topo_;
+    MemorySystem &memsys_;
+    Cycle delaySys_;
+    int numaDomains_;
+    int lineBytes_;
+    std::vector<int> peDomain_;
+};
+
+} // namespace
+
+std::unique_ptr<MemAccessModel>
+makeMemAccessModel(const MemModelConfig &config, const Topology &topo,
+                   MemorySystem &memsys)
+{
+    switch (config.model) {
+      case MemModel::Monaco:
+        return std::make_unique<MonacoMemModel>(config, topo, memsys,
+                                                false);
+      case MemModel::NupeaNuma:
+        return std::make_unique<MonacoMemModel>(config, topo, memsys,
+                                                true);
+      case MemModel::Upea:
+        return std::make_unique<UpeaMemModel>(config, memsys);
+      case MemModel::NumaUpea:
+        return std::make_unique<NumaUpeaMemModel>(config, topo, memsys);
+    }
+    fatal("unknown memory model");
+}
+
+} // namespace nupea

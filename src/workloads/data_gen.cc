@@ -1,0 +1,283 @@
+#include "workloads/data_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace nupea
+{
+
+std::vector<Word>
+randomVector(Rng &rng, int n, Word lo, Word hi)
+{
+    std::vector<Word> v(static_cast<std::size_t>(n));
+    for (Word &x : v)
+        x = static_cast<Word>(rng.range(lo, hi));
+    return v;
+}
+
+CsrMatrix
+randomCsr(Rng &rng, int rows, int cols, double density, Word lo, Word hi)
+{
+    CsrMatrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr.push_back(0);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (!rng.chance(density))
+                continue;
+            Word v = static_cast<Word>(rng.range(lo, hi));
+            if (v == 0)
+                v = 1;
+            m.colIdx.push_back(c);
+            m.values.push_back(v);
+        }
+        m.rowPtr.push_back(static_cast<Word>(m.colIdx.size()));
+    }
+    return m;
+}
+
+CsrMatrix
+transposeCsr(const CsrMatrix &m)
+{
+    CsrMatrix t;
+    t.rows = m.cols;
+    t.cols = m.rows;
+    std::vector<int> counts(static_cast<std::size_t>(m.cols), 0);
+    for (Word c : m.colIdx)
+        ++counts[static_cast<std::size_t>(c)];
+    t.rowPtr.resize(static_cast<std::size_t>(m.cols) + 1, 0);
+    for (int c = 0; c < m.cols; ++c) {
+        t.rowPtr[static_cast<std::size_t>(c) + 1] =
+            t.rowPtr[static_cast<std::size_t>(c)] +
+            counts[static_cast<std::size_t>(c)];
+    }
+    t.colIdx.resize(m.colIdx.size());
+    t.values.resize(m.values.size());
+    std::vector<int> next(t.rowPtr.begin(), t.rowPtr.end() - 1);
+    for (int r = 0; r < m.rows; ++r) {
+        for (Word k = m.rowPtr[static_cast<std::size_t>(r)];
+             k < m.rowPtr[static_cast<std::size_t>(r) + 1]; ++k) {
+            Word c = m.colIdx[static_cast<std::size_t>(k)];
+            int slot = next[static_cast<std::size_t>(c)]++;
+            t.colIdx[static_cast<std::size_t>(slot)] = r;
+            t.values[static_cast<std::size_t>(slot)] =
+                m.values[static_cast<std::size_t>(k)];
+        }
+    }
+    return t;
+}
+
+void
+randomSparseVector(Rng &rng, int n, double density, std::vector<Word> &idx,
+                   std::vector<Word> &val, Word lo, Word hi)
+{
+    idx.clear();
+    val.clear();
+    for (int i = 0; i < n; ++i) {
+        if (!rng.chance(density))
+            continue;
+        Word v = static_cast<Word>(rng.range(lo, hi));
+        if (v == 0)
+            v = 1;
+        idx.push_back(i);
+        val.push_back(v);
+    }
+}
+
+std::vector<Word>
+refDenseMv(const std::vector<Word> &a, int n, const std::vector<Word> &x)
+{
+    std::vector<Word> y(static_cast<std::size_t>(n), 0);
+    for (int r = 0; r < n; ++r) {
+        Word acc = 0;
+        for (int c = 0; c < n; ++c) {
+            acc = static_cast<Word>(
+                static_cast<std::uint32_t>(acc) +
+                static_cast<std::uint32_t>(
+                    a[static_cast<std::size_t>(r * n + c)]) *
+                    static_cast<std::uint32_t>(
+                        x[static_cast<std::size_t>(c)]));
+        }
+        y[static_cast<std::size_t>(r)] = acc;
+    }
+    return y;
+}
+
+std::vector<Word>
+refSpmv(const CsrMatrix &a, const std::vector<Word> &x)
+{
+    std::vector<Word> y(static_cast<std::size_t>(a.rows), 0);
+    for (int r = 0; r < a.rows; ++r) {
+        Word acc = 0;
+        for (Word k = a.rowPtr[static_cast<std::size_t>(r)];
+             k < a.rowPtr[static_cast<std::size_t>(r) + 1]; ++k) {
+            acc += a.values[static_cast<std::size_t>(k)] *
+                   x[static_cast<std::size_t>(
+                       a.colIdx[static_cast<std::size_t>(k)])];
+        }
+        y[static_cast<std::size_t>(r)] = acc;
+    }
+    return y;
+}
+
+std::vector<Word>
+refSpmspv(const CsrMatrix &a, const std::vector<Word> &v_idx,
+          const std::vector<Word> &v_val)
+{
+    std::vector<Word> y(static_cast<std::size_t>(a.rows), 0);
+    for (int r = 0; r < a.rows; ++r) {
+        Word acc = 0;
+        std::size_t ia = static_cast<std::size_t>(
+            a.rowPtr[static_cast<std::size_t>(r)]);
+        std::size_t end_a = static_cast<std::size_t>(
+            a.rowPtr[static_cast<std::size_t>(r) + 1]);
+        std::size_t iv = 0;
+        while (ia < end_a && iv < v_idx.size()) {
+            Word ca = a.colIdx[ia];
+            Word cv = v_idx[iv];
+            if (ca == cv)
+                acc += a.values[ia] * v_val[iv];
+            if (ca <= cv)
+                ++ia;
+            if (cv <= ca)
+                ++iv;
+        }
+        y[static_cast<std::size_t>(r)] = acc;
+    }
+    return y;
+}
+
+Word
+refIntersectCount(const std::vector<Word> &a, const std::vector<Word> &b)
+{
+    Word count = 0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j])
+            ++count;
+        if (a[i] <= b[j])
+            ++i;
+        else
+            ++j;
+    }
+    return count;
+}
+
+std::vector<Word>
+refJacobi2d(std::vector<Word> grid, int n, int steps)
+{
+    std::vector<Word> other(grid.size(), 0);
+    auto at = [n](std::vector<Word> &g, int i, int j) -> Word & {
+        return g[static_cast<std::size_t>(i * n + j)];
+    };
+    std::vector<Word> *src = &grid, *dst = &other;
+    for (int t = 0; t < steps; ++t) {
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                if (i == 0 || j == 0 || i == n - 1 || j == n - 1) {
+                    at(*dst, i, j) = at(*src, i, j);
+                    continue;
+                }
+                // Integer Jacobi: average of self and 4 neighbors.
+                Word sum = at(*src, i, j) + at(*src, i - 1, j) +
+                           at(*src, i + 1, j) + at(*src, i, j - 1) +
+                           at(*src, i, j + 1);
+                at(*dst, i, j) = sum / 5;
+            }
+        }
+        std::swap(src, dst);
+    }
+    return *src;
+}
+
+std::vector<Word>
+refHeat3d(std::vector<Word> grid, int n, int steps)
+{
+    std::vector<Word> other(grid.size(), 0);
+    auto at = [n](std::vector<Word> &g, int i, int j, int k) -> Word & {
+        return g[static_cast<std::size_t>((i * n + j) * n + k)];
+    };
+    std::vector<Word> *src = &grid, *dst = &other;
+    for (int t = 0; t < steps; ++t) {
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < n; ++j) {
+                for (int k = 0; k < n; ++k) {
+                    bool border = i == 0 || j == 0 || k == 0 ||
+                                  i == n - 1 || j == n - 1 || k == n - 1;
+                    if (border) {
+                        at(*dst, i, j, k) = at(*src, i, j, k);
+                        continue;
+                    }
+                    Word sum = at(*src, i, j, k) + at(*src, i - 1, j, k) +
+                               at(*src, i + 1, j, k) +
+                               at(*src, i, j - 1, k) +
+                               at(*src, i, j + 1, k) +
+                               at(*src, i, j, k - 1) +
+                               at(*src, i, j, k + 1);
+                    at(*dst, i, j, k) = sum / 7;
+                }
+            }
+        }
+        std::swap(src, dst);
+    }
+    return *src;
+}
+
+void
+refFftFixed(std::vector<Word> &re, std::vector<Word> &im)
+{
+    // Fixed-point radix-2 DIT FFT with Q12 twiddles; must match the
+    // dataflow kernel in wl_dsp_ml.cc bit for bit.
+    const int n = static_cast<int>(re.size());
+    NUPEA_ASSERT((n & (n - 1)) == 0, "fft size must be a power of two");
+
+    // Bit reversal.
+    for (int i = 1, j = 0; i < n; ++i) {
+        int bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j |= bit;
+        if (i < j) {
+            std::swap(re[static_cast<std::size_t>(i)],
+                      re[static_cast<std::size_t>(j)]);
+            std::swap(im[static_cast<std::size_t>(i)],
+                      im[static_cast<std::size_t>(j)]);
+        }
+    }
+
+    // Q12 twiddle tables for the largest stage, shared by all stages.
+    std::vector<Word> tw_re(static_cast<std::size_t>(n / 2));
+    std::vector<Word> tw_im(static_cast<std::size_t>(n / 2));
+    for (int k = 0; k < n / 2; ++k) {
+        double ang = -2.0 * 3.14159265358979323846 * k / n;
+        tw_re[static_cast<std::size_t>(k)] =
+            static_cast<Word>(std::lround(4096.0 * std::cos(ang)));
+        tw_im[static_cast<std::size_t>(k)] =
+            static_cast<Word>(std::lround(4096.0 * std::sin(ang)));
+    }
+
+    for (int len = 2; len <= n; len <<= 1) {
+        int half = len / 2;
+        int stride = n / len;
+        for (int base = 0; base < n; base += len) {
+            for (int k = 0; k < half; ++k) {
+                std::size_t i0 = static_cast<std::size_t>(base + k);
+                std::size_t i1 = static_cast<std::size_t>(base + k + half);
+                Word wr = tw_re[static_cast<std::size_t>(k * stride)];
+                Word wi = tw_im[static_cast<std::size_t>(k * stride)];
+                Word xr = re[i1], xi = im[i1];
+                Word tr = (xr * wr - xi * wi) >> 12;
+                Word ti = (xr * wi + xi * wr) >> 12;
+                re[i1] = re[i0] - tr;
+                im[i1] = im[i0] - ti;
+                re[i0] = re[i0] + tr;
+                im[i0] = im[i0] + ti;
+            }
+        }
+    }
+}
+
+} // namespace nupea

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic input generators and host reference math shared by
+ * the workloads: random dense arrays, CSR/CSC sparse matrices with
+ * sorted index lists, and small-integer reference kernels.
+ */
+
+#ifndef NUPEA_WORKLOADS_DATA_GEN_H
+#define NUPEA_WORKLOADS_DATA_GEN_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nupea
+{
+
+/** A sparse matrix in compressed-sparse-row form (host side). */
+struct CsrMatrix
+{
+    int rows = 0;
+    int cols = 0;
+    std::vector<Word> rowPtr; ///< size rows+1
+    std::vector<Word> colIdx; ///< sorted within each row
+    std::vector<Word> values;
+
+    int nnz() const { return static_cast<int>(colIdx.size()); }
+};
+
+/** Random dense vector with small values (to avoid overflow). */
+std::vector<Word> randomVector(Rng &rng, int n, Word lo = -8, Word hi = 8);
+
+/**
+ * Random CSR matrix: each entry present with probability `density`,
+ * values in [lo, hi] excluding 0.
+ */
+CsrMatrix randomCsr(Rng &rng, int rows, int cols, double density,
+                    Word lo = -8, Word hi = 8);
+
+/** Transpose a CSR matrix (yields CSC of the original). */
+CsrMatrix transposeCsr(const CsrMatrix &m);
+
+/**
+ * Random sorted index list: k distinct indices in [0, n), ascending,
+ * plus parallel values.
+ */
+void randomSparseVector(Rng &rng, int n, double density,
+                        std::vector<Word> &idx, std::vector<Word> &val,
+                        Word lo = -8, Word hi = 8);
+
+/** Host reference: dense matrix-vector product. */
+std::vector<Word> refDenseMv(const std::vector<Word> &a, int n,
+                             const std::vector<Word> &x);
+
+/** Host reference: CSR matrix x dense vector. */
+std::vector<Word> refSpmv(const CsrMatrix &a, const std::vector<Word> &x);
+
+/** Host reference: CSR matrix x sparse vector (dense output). */
+std::vector<Word> refSpmspv(const CsrMatrix &a,
+                            const std::vector<Word> &v_idx,
+                            const std::vector<Word> &v_val);
+
+/** Host reference: sorted-list intersection size. */
+Word refIntersectCount(const std::vector<Word> &a,
+                       const std::vector<Word> &b);
+
+/** Host reference: 2D Jacobi (integer average of 4 neighbors + self). */
+std::vector<Word> refJacobi2d(std::vector<Word> grid, int n, int steps);
+
+/** Host reference: 3D 7-point heat stencil. */
+std::vector<Word> refHeat3d(std::vector<Word> grid, int n, int steps);
+
+/** Host reference: fixed-point radix-2 FFT (see wl_dsp_ml.cc). */
+void refFftFixed(std::vector<Word> &re, std::vector<Word> &im);
+
+} // namespace nupea
+
+#endif // NUPEA_WORKLOADS_DATA_GEN_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared kernel-construction helpers: work slicing for spatial
+ * parallelization and ordering-token reduction (barriers).
+ */
+
+#ifndef NUPEA_WORKLOADS_KERNEL_UTIL_H
+#define NUPEA_WORKLOADS_KERNEL_UTIL_H
+
+#include <vector>
+
+#include "common/log.h"
+#include "dfg/builder.h"
+
+namespace nupea
+{
+
+/** Half-open index range a parallel worker is responsible for. */
+struct WorkSlice
+{
+    int begin = 0;
+    int end = 0;
+};
+
+/**
+ * Split [0, total) into `parts` contiguous slices (the last may be
+ * short, and trailing slices may be empty).
+ */
+inline std::vector<WorkSlice>
+sliceWork(int total, int parts)
+{
+    NUPEA_ASSERT(parts >= 1);
+    std::vector<WorkSlice> slices;
+    int chunk = (total + parts - 1) / parts;
+    for (int p = 0; p < parts; ++p) {
+        WorkSlice s;
+        s.begin = std::min(total, p * chunk);
+        s.end = std::min(total, (p + 1) * chunk);
+        slices.push_back(s);
+    }
+    return slices;
+}
+
+/**
+ * Reduce a set of ordering ("done") tokens into one token. The
+ * result becomes available only after every input token arrives, so
+ * it acts as a memory barrier between program phases.
+ */
+inline Builder::Value
+joinTokens(Builder &b, const std::vector<Builder::Value> &tokens)
+{
+    NUPEA_ASSERT(!tokens.empty());
+    Builder::Value acc = tokens[0];
+    for (std::size_t i = 1; i < tokens.size(); ++i)
+        acc = b.bor(acc, tokens[i]);
+    return acc;
+}
+
+/** Byte address of word `i` of the array at `base` (host side). */
+inline Addr
+wordAddr(Addr base, int i)
+{
+    return base + static_cast<Addr>(4 * i);
+}
+
+/** Builder-side address of word `i` (dynamic index). */
+inline Builder::Value
+wordAddrV(Builder &b, Addr base, Builder::Value i)
+{
+    return b.add(b.mul(i, Word{4}), static_cast<Word>(base));
+}
+
+} // namespace nupea
+
+#endif // NUPEA_WORKLOADS_KERNEL_UTIL_H

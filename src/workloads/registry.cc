@@ -1,0 +1,52 @@
+#include "workloads/workload.h"
+
+#include "common/log.h"
+#include "workloads/wl_factories.h"
+
+namespace nupea
+{
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "dmv", "jacobi2d", "heat3d", "spmv", "spmspm", "spmspv",
+        "spadd", "tc", "mergesort", "fft", "ad", "ic", "vww",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, std::uint64_t seed)
+{
+    using namespace detail;
+    if (name == "dmv")
+        return makeDmv(seed);
+    if (name == "jacobi2d")
+        return makeJacobi2d(seed);
+    if (name == "heat3d")
+        return makeHeat3d(seed);
+    if (name == "spmv")
+        return makeSpmv(seed);
+    if (name == "spmspm")
+        return makeSpmspm(seed);
+    if (name == "spmspv")
+        return makeSpmspv(seed);
+    if (name == "spadd")
+        return makeSpadd(seed);
+    if (name == "tc")
+        return makeTc(seed);
+    if (name == "mergesort")
+        return makeMergesort(seed);
+    if (name == "fft")
+        return makeFft(seed);
+    if (name == "ad")
+        return makeAd(seed);
+    if (name == "ic")
+        return makeIc(seed);
+    if (name == "vww")
+        return makeVww(seed);
+    fatal("unknown workload: ", name);
+}
+
+} // namespace nupea

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared base class for workload implementations: deterministic
+ * seeding, output bookkeeping, and memory-image verification.
+ */
+
+#ifndef NUPEA_WORKLOADS_WL_BASE_H
+#define NUPEA_WORKLOADS_WL_BASE_H
+
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "workloads/data_gen.h"
+#include "workloads/kernel_util.h"
+#include "workloads/workload.h"
+
+namespace nupea
+{
+
+/**
+ * Base for concrete workloads. Subclasses implement init()/build()
+ * and register expected output regions; verify() compares every
+ * registered region word-for-word against the host reference.
+ */
+class WorkloadBase : public Workload
+{
+  public:
+    explicit WorkloadBase(std::uint64_t seed) : seed_(seed) {}
+
+    bool
+    verify(const BackingStore &store, std::string *why) const override
+    {
+        NUPEA_ASSERT(initialized_, "verify() before init()");
+        for (const Region &region : expected_) {
+            for (std::size_t i = 0; i < region.words.size(); ++i) {
+                Addr addr = region.base + static_cast<Addr>(4 * i);
+                Word got = store.loadWord(addr);
+                if (got != region.words[i]) {
+                    if (why) {
+                        *why = formatMessage(
+                            name(), ": mismatch in ", region.label, "[",
+                            i, "] @", addr, ": got ", got, ", want ",
+                            region.words[i]);
+                    }
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+
+  protected:
+    /** Write a host vector into simulated memory. */
+    static void
+    writeWords(BackingStore &store, Addr base,
+               const std::vector<Word> &words)
+    {
+        for (std::size_t i = 0; i < words.size(); ++i)
+            store.storeWord(base + static_cast<Addr>(4 * i), words[i]);
+    }
+
+    /** Allocate an array and fill it. */
+    static Addr
+    allocAndWrite(BackingStore &store, const std::vector<Word> &words)
+    {
+        Addr base = store.allocWords(words.size());
+        writeWords(store, base, words);
+        return base;
+    }
+
+    /** Register a region that verify() must find in memory. */
+    void
+    expectRegion(std::string label, Addr base, std::vector<Word> words)
+    {
+        expected_.push_back(
+            Region{std::move(label), base, std::move(words)});
+    }
+
+    /** Fresh generator: same seed -> same data on every init(). */
+    Rng freshRng() const { return Rng(seed_ ^ 0xabcdef12345ull); }
+
+    void
+    markInitialized()
+    {
+        initialized_ = true;
+    }
+
+    void
+    requireInitialized() const
+    {
+        NUPEA_ASSERT(initialized_, name(), ": build() before init()");
+    }
+
+    /** Reset expectation state (init() may be called repeatedly). */
+    void
+    resetExpectations()
+    {
+        expected_.clear();
+    }
+
+  private:
+    struct Region
+    {
+        std::string label;
+        Addr base;
+        std::vector<Word> words;
+    };
+
+    std::uint64_t seed_;
+    bool initialized_ = false;
+    std::vector<Region> expected_;
+};
+
+} // namespace nupea
+
+#endif // NUPEA_WORKLOADS_WL_BASE_H

@@ -1,0 +1,406 @@
+/**
+ * @file
+ * Dense workloads: dmv (dense matrix-vector product), jacobi2d (2D
+ * Jacobi stencil, PolyBench), heat3d (3D heat stencil, PolyBench).
+ *
+ * The stencils use the ordering structure the paper highlights
+ * (Sec. 7.1): every time step is ordered after all of the previous
+ * step's stores through a reduced "barrier" token, which puts a few
+ * memory instructions on a loop-carried recurrence that effcc's
+ * criticality analysis then targets.
+ */
+
+#include "workloads/wl_factories.h"
+
+#include "dfg/builder.h"
+#include "workloads/wl_base.h"
+
+namespace nupea
+{
+namespace detail
+{
+
+namespace
+{
+
+using Value = Builder::Value;
+
+/** Dense matrix-vector product, paper Table 1 row 1. */
+class DmvWorkload : public WorkloadBase
+{
+  public:
+    explicit DmvWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "dmv"; }
+    std::string
+    description() const override
+    {
+        return "Dense matrix-vector product";
+    }
+    std::string paperInput() const override { return "1,024x1,024"; }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage(kN, "x", kN);
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        a_ = randomVector(rng, kN * kN);
+        x_ = randomVector(rng, kN);
+        aBase_ = allocAndWrite(store, a_);
+        xBase_ = allocAndWrite(store, x_);
+        yBase_ = store.allocWords(static_cast<std::size_t>(kN));
+        expectRegion("y", yBase_, refDenseMv(a_, kN, x_));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        for (const WorkSlice &slice : sliceWork(kN, parallelism)) {
+            auto exits = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1,
+                {b.source(0)},
+                [&](Builder &b, Value r, const std::vector<Value> &c) {
+                    auto row_off = b.mul(r, Word{kN});
+                    // Inner loop unrolled 2x: twice the memory
+                    // parallelism per worker (dense kernels are
+                    // bandwidth-hungry in the paper's evaluation).
+                    auto inner = b.forLoop(
+                        b.source(0), b.source(kN), 2, {b.source(0)},
+                        [&](Builder &b, Value col,
+                            const std::vector<Value> &acc) {
+                            auto idx0 = b.add(row_off, col);
+                            auto av0 = b.load(
+                                wordAddrV(b, aBase_, idx0), {},
+                                "A[r][c]");
+                            auto xv0 = b.load(wordAddrV(b, xBase_, col),
+                                              {}, "x[c]");
+                            auto av1 = b.load(
+                                wordAddrV(b, aBase_,
+                                          b.add(idx0, Word{1})),
+                                {}, "A[r][c+1]");
+                            auto xv1 = b.load(
+                                wordAddrV(b, xBase_,
+                                          b.add(col, Word{1})),
+                                {}, "x[c+1]");
+                            auto prod = b.add(b.mul(av0, xv0),
+                                              b.mul(av1, xv1));
+                            return std::vector<Value>{
+                                b.add(acc[0], prod)};
+                        });
+                    b.store(wordAddrV(b, yBase_, r), inner[0], {},
+                            "y[r]");
+                    return std::vector<Value>{c[0]};
+                },
+                "dmv.rows");
+            b.sink(exits[0]);
+        }
+        return b.takeGraph();
+    }
+
+    int preferredParallelism() const override { return 8; }
+
+  private:
+    static constexpr int kN = 40;
+    std::vector<Word> a_, x_;
+    Addr aBase_ = 0, xBase_ = 0, yBase_ = 0;
+};
+
+/** 2D Jacobi stencil with inter-step memory ordering. */
+class Jacobi2dWorkload : public WorkloadBase
+{
+  public:
+    explicit Jacobi2dWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "jacobi2d"; }
+    std::string
+    description() const override
+    {
+        return "2D Jacobi stencil (Polybench)";
+    }
+    std::string
+    paperInput() const override
+    {
+        return "200x200, 100 steps";
+    }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage(kN, "x", kN, ", ", kSteps, " steps");
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        grid_ = randomVector(rng, kN * kN, 0, 256);
+        aBase_ = allocAndWrite(store, grid_);
+        // Second buffer starts as a copy so untouched borders match.
+        bBase_ = allocAndWrite(store, grid_);
+        std::vector<Word> final_grid = refJacobi2d(grid_, kN, kSteps);
+        Addr final_base = (kSteps % 2 == 0) ? aBase_ : bBase_;
+        expectRegion("grid", final_base, std::move(final_grid));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        auto slices = sliceWork(kN - 2, parallelism); // interior rows
+
+        auto exits = b.whileLoop(
+            {b.source(0), b.source(0),
+             b.source(static_cast<Word>(aBase_)),
+             b.source(static_cast<Word>(bBase_))},
+            [&](Builder &b, const std::vector<Value> &cur) {
+                return b.lt(cur[0], Word{kSteps});
+            },
+            [&](Builder &b, const std::vector<Value> &cur) {
+                Value bar = cur[1];
+                Value src = cur[2];
+                Value dst = cur[3];
+                std::vector<Value> dones;
+                for (const WorkSlice &slice : slices) {
+                    auto ex = b.forLoop(
+                        b.source(slice.begin + 1),
+                        b.source(slice.end + 1), 1, {bar},
+                        [&](Builder &b, Value i,
+                            const std::vector<Value> &c) {
+                            auto row_off = b.mul(i, Word{kN});
+                            auto up_off = b.sub(row_off, Word{kN});
+                            auto dn_off = b.add(row_off, Word{kN});
+                            auto inner = b.forLoop(
+                                b.source(1), b.source(kN - 1), 1,
+                                {c[0]},
+                                [&](Builder &b, Value j,
+                                    const std::vector<Value> &c2) {
+                                    auto addr_of = [&](Value base,
+                                                       Value off) {
+                                        return b.add(
+                                            base,
+                                            b.mul(b.add(off, j),
+                                                  Word{4}));
+                                    };
+                                    auto mid =
+                                        b.load(addr_of(src, row_off),
+                                               bar, "in[i][j]");
+                                    auto up =
+                                        b.load(addr_of(src, up_off),
+                                               bar, "in[i-1][j]");
+                                    auto dn =
+                                        b.load(addr_of(src, dn_off),
+                                               bar, "in[i+1][j]");
+                                    auto lf = b.load(
+                                        b.sub(addr_of(src, row_off),
+                                              Word{4}),
+                                        bar, "in[i][j-1]");
+                                    auto rt = b.load(
+                                        b.add(addr_of(src, row_off),
+                                              Word{4}),
+                                        bar, "in[i][j+1]");
+                                    auto sum = b.add(
+                                        b.add(b.add(mid, up),
+                                              b.add(dn, lf)),
+                                        rt);
+                                    auto done = b.store(
+                                        addr_of(dst, row_off),
+                                        b.div(sum, Word{5}), {},
+                                        "out[i][j]");
+                                    return std::vector<Value>{
+                                        b.bor(c2[0], done)};
+                                });
+                            return std::vector<Value>{inner[0]};
+                        },
+                        "jacobi.rows");
+                    dones.push_back(ex[0]);
+                }
+                Value new_bar = joinTokens(b, dones);
+                return std::vector<Value>{b.add(cur[0], Word{1}),
+                                          new_bar, dst, src};
+            },
+            "jacobi.time");
+        b.sink(exits[1], "final-barrier");
+        return b.takeGraph();
+    }
+
+    int preferredParallelism() const override { return 4; }
+
+  private:
+    static constexpr int kN = 14;
+    static constexpr int kSteps = 3;
+    std::vector<Word> grid_;
+    Addr aBase_ = 0, bBase_ = 0;
+};
+
+/** 3D heat-equation stencil with inter-step memory ordering. */
+class Heat3dWorkload : public WorkloadBase
+{
+  public:
+    explicit Heat3dWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "heat3d"; }
+    std::string
+    description() const override
+    {
+        return "Heat equation, 3D stencil (Polybench)";
+    }
+    std::string
+    paperInput() const override
+    {
+        return "40x40, 80 steps";
+    }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage(kN, "^3, ", kSteps, " steps");
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        grid_ = randomVector(rng, kN * kN * kN, 0, 256);
+        aBase_ = allocAndWrite(store, grid_);
+        bBase_ = allocAndWrite(store, grid_);
+        std::vector<Word> final_grid = refHeat3d(grid_, kN, kSteps);
+        Addr final_base = (kSteps % 2 == 0) ? aBase_ : bBase_;
+        expectRegion("grid", final_base, std::move(final_grid));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        auto slices = sliceWork(kN - 2, parallelism);
+
+        auto exits = b.whileLoop(
+            {b.source(0), b.source(0),
+             b.source(static_cast<Word>(aBase_)),
+             b.source(static_cast<Word>(bBase_))},
+            [&](Builder &b, const std::vector<Value> &cur) {
+                return b.lt(cur[0], Word{kSteps});
+            },
+            [&](Builder &b, const std::vector<Value> &cur) {
+                Value bar = cur[1];
+                Value src = cur[2];
+                Value dst = cur[3];
+                std::vector<Value> dones;
+                for (const WorkSlice &slice : slices) {
+                    auto ex = b.forLoop(
+                        b.source(slice.begin + 1),
+                        b.source(slice.end + 1), 1, {bar},
+                        [&](Builder &b, Value i,
+                            const std::vector<Value> &c) {
+                            auto mid_j = b.forLoop(
+                                b.source(1), b.source(kN - 1), 1,
+                                {c[0]},
+                                [&](Builder &b, Value j,
+                                    const std::vector<Value> &cj) {
+                                    auto plane = b.mul(
+                                        b.add(b.mul(i, Word{kN}), j),
+                                        Word{kN});
+                                    auto inner = b.forLoop(
+                                        b.source(1), b.source(kN - 1),
+                                        1, {cj[0]},
+                                        [&](Builder &b, Value k,
+                                            const std::vector<Value>
+                                                &ck) {
+                                            auto idx =
+                                                b.add(plane, k);
+                                            auto at = [&](Value base,
+                                                          Word off) {
+                                                return b.load(
+                                                    b.add(
+                                                        base,
+                                                        b.mul(
+                                                            b.add(
+                                                                idx,
+                                                                off),
+                                                            Word{4})),
+                                                    bar);
+                                            };
+                                            auto sum = b.add(
+                                                b.add(
+                                                    b.add(
+                                                        at(src, 0),
+                                                        at(src, 1)),
+                                                    b.add(
+                                                        at(src, -1),
+                                                        at(src, kN))),
+                                                b.add(
+                                                    b.add(
+                                                        at(src, -kN),
+                                                        at(src,
+                                                           kN * kN)),
+                                                    at(src,
+                                                       -kN * kN)));
+                                            auto done = b.store(
+                                                b.add(
+                                                    dst,
+                                                    b.mul(idx,
+                                                          Word{4})),
+                                                b.div(sum, Word{7}));
+                                            return std::vector<Value>{
+                                                b.bor(ck[0], done)};
+                                        });
+                                    return std::vector<Value>{
+                                        inner[0]};
+                                });
+                            return std::vector<Value>{mid_j[0]};
+                        },
+                        "heat3d.rows");
+                    dones.push_back(ex[0]);
+                }
+                Value new_bar = joinTokens(b, dones);
+                return std::vector<Value>{b.add(cur[0], Word{1}),
+                                          new_bar, dst, src};
+            },
+            "heat3d.time");
+        b.sink(exits[1], "final-barrier");
+        return b.takeGraph();
+    }
+
+    int preferredParallelism() const override { return 4; }
+
+  private:
+    static constexpr int kN = 7;
+    static constexpr int kSteps = 2;
+    std::vector<Word> grid_;
+    Addr aBase_ = 0, bBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeDmv(std::uint64_t seed)
+{
+    return std::make_unique<DmvWorkload>(seed);
+}
+
+std::unique_ptr<Workload>
+makeJacobi2d(std::uint64_t seed)
+{
+    return std::make_unique<Jacobi2dWorkload>(seed);
+}
+
+std::unique_ptr<Workload>
+makeHeat3d(std::uint64_t seed)
+{
+    return std::make_unique<Heat3dWorkload>(seed);
+}
+
+} // namespace detail
+} // namespace nupea

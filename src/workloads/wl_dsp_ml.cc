@@ -1,0 +1,807 @@
+/**
+ * @file
+ * DSP and ML workloads: fft (fixed-point radix-2, standing in for
+ * CMSIS-DSP's arm_rfft_q31), ad (MLPerf-Tiny anomaly-detection
+ * autoencoder MLP), ic (image-classification CNN), and vww (visual
+ * wake words depthwise-separable CNN). All inference layers are
+ * integer; layer boundaries are memory-ordered through barrier
+ * tokens, matching the paper's observation that fft's stages make
+ * it latency-sensitive to ordering.
+ */
+
+#include "workloads/wl_factories.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dfg/builder.h"
+#include "workloads/wl_base.h"
+
+namespace nupea
+{
+namespace detail
+{
+
+namespace
+{
+
+using Value = Builder::Value;
+
+/** ReLU on host. */
+Word
+reluH(Word v)
+{
+    return v > 0 ? v : 0;
+}
+
+/** Fixed-point radix-2 FFT (paper: CMSIS arm_rfft_q31). */
+class FftWorkload : public WorkloadBase
+{
+  public:
+    explicit FftWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "fft"; }
+    std::string
+    description() const override
+    {
+        return "Fast Fourier transform (CMSIS-DSP)";
+    }
+    std::string
+    paperInput() const override
+    {
+        return "Points: 4096, Input size: 2^20";
+    }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage("Points: ", kN);
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        std::vector<Word> re = randomVector(rng, kN, -512, 512);
+        std::vector<Word> im = randomVector(rng, kN, -512, 512);
+
+        // Host reference (does bit reversal + butterflies).
+        std::vector<Word> ref_re = re, ref_im = im;
+        refFftFixed(ref_re, ref_im);
+
+        // The dataflow kernel computes only the butterfly stages;
+        // memory starts bit-reverse-scrambled, as a real pipeline
+        // would produce with a strided DMA.
+        std::vector<Word> sc_re(re.size()), sc_im(im.size());
+        for (int i = 0, j = 0; i < kN; ++i) {
+            sc_re[static_cast<std::size_t>(j)] =
+                re[static_cast<std::size_t>(i)];
+            sc_im[static_cast<std::size_t>(j)] =
+                im[static_cast<std::size_t>(i)];
+            int bit = kN >> 1;
+            for (; j & bit; bit >>= 1)
+                j ^= bit;
+            j |= bit;
+        }
+
+        reBase_ = allocAndWrite(store, sc_re);
+        imBase_ = allocAndWrite(store, sc_im);
+
+        std::vector<Word> tw_re(kN / 2), tw_im(kN / 2);
+        for (int k = 0; k < kN / 2; ++k) {
+            double ang = -2.0 * 3.14159265358979323846 * k / kN;
+            tw_re[static_cast<std::size_t>(k)] =
+                static_cast<Word>(std::lround(4096.0 * std::cos(ang)));
+            tw_im[static_cast<std::size_t>(k)] =
+                static_cast<Word>(std::lround(4096.0 * std::sin(ang)));
+        }
+        twReBase_ = allocAndWrite(store, tw_re);
+        twImBase_ = allocAndWrite(store, tw_im);
+
+        expectRegion("re", reBase_, std::move(ref_re));
+        expectRegion("im", imBase_, std::move(ref_im));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        const int workers = parallelism;
+
+        auto exits = b.whileLoop(
+            {b.source(2), b.source(0)},
+            [&](Builder &b, const std::vector<Value> &cur) {
+                return b.le(cur[0], Word{kN});
+            },
+            [&](Builder &b, const std::vector<Value> &cur) {
+                Value len = cur[0];
+                Value bar = cur[1];
+                auto half = b.shr(len, Word{1});
+                auto stride = b.div(Word{kN}, len);
+                std::vector<Value> dones;
+                for (int p = 0; p < workers; ++p) {
+                    // Worker p handles butterfly blocks p, p+P, ...
+                    auto blocks = b.whileLoop(
+                        {b.mul(b.source(p), len), bar},
+                        [&](Builder &b, const std::vector<Value> &cw) {
+                            return b.lt(cw[0], Word{kN});
+                        },
+                        [&](Builder &b, const std::vector<Value> &cw) {
+                            Value base = cw[0];
+                            auto inner = b.whileLoop(
+                                {b.source(0), cw[1]},
+                                [&](Builder &b,
+                                    const std::vector<Value> &ck) {
+                                    return b.lt(ck[0], half);
+                                },
+                                [&](Builder &b,
+                                    const std::vector<Value> &ck) {
+                                    Value k = ck[0];
+                                    auto i0 = b.add(base, k);
+                                    auto i1 = b.add(i0, half);
+                                    auto tw_off = b.mul(k, stride);
+                                    auto wr = b.load(wordAddrV(
+                                        b, twReBase_, tw_off));
+                                    auto wi = b.load(wordAddrV(
+                                        b, twImBase_, tw_off));
+                                    auto xr = b.load(
+                                        wordAddrV(b, reBase_, i1),
+                                        bar);
+                                    auto xi = b.load(
+                                        wordAddrV(b, imBase_, i1),
+                                        bar);
+                                    auto yr = b.load(
+                                        wordAddrV(b, reBase_, i0),
+                                        bar);
+                                    auto yi = b.load(
+                                        wordAddrV(b, imBase_, i0),
+                                        bar);
+                                    auto tr = b.shr(
+                                        b.sub(b.mul(xr, wr),
+                                              b.mul(xi, wi)),
+                                        Word{12});
+                                    auto ti = b.shr(
+                                        b.add(b.mul(xr, wi),
+                                              b.mul(xi, wr)),
+                                        Word{12});
+                                    auto d0 = b.store(
+                                        wordAddrV(b, reBase_, i1),
+                                        b.sub(yr, tr));
+                                    auto d1 = b.store(
+                                        wordAddrV(b, imBase_, i1),
+                                        b.sub(yi, ti));
+                                    auto d2 = b.store(
+                                        wordAddrV(b, reBase_, i0),
+                                        b.add(yr, tr));
+                                    auto d3 = b.store(
+                                        wordAddrV(b, imBase_, i0),
+                                        b.add(yi, ti));
+                                    auto done = b.bor(b.bor(d0, d1),
+                                                      b.bor(d2, d3));
+                                    return std::vector<Value>{
+                                        b.add(k, Word{1}),
+                                        b.bor(ck[1], done)};
+                                },
+                                "fft.bfly");
+                            return std::vector<Value>{
+                                b.add(base, b.mul(len, Word{workers})),
+                                inner[1]};
+                        },
+                        "fft.blocks");
+                    dones.push_back(blocks[1]);
+                }
+                return std::vector<Value>{b.shl(len, Word{1}),
+                                          joinTokens(b, dones)};
+            },
+            "fft.stages");
+        b.sink(exits[1], "final-barrier");
+        return b.takeGraph();
+    }
+
+    int preferredParallelism() const override { return 4; }
+
+  private:
+    static constexpr int kN = 32;
+    Addr reBase_ = 0, imBase_ = 0, twReBase_ = 0, twImBase_ = 0;
+};
+
+/** Dense layer builder shared by the NN workloads. */
+struct DenseLayerSpec
+{
+    Addr in = 0, w = 0, bias = 0, out = 0;
+    int inDim = 0, outDim = 0;
+    bool relu = false;
+};
+
+/**
+ * Emit `parallelism` parallel workers computing a dense layer; all
+ * input loads are ordered after `bar`, and the returned token joins
+ * every worker's stores.
+ */
+Value
+buildDenseLayer(Builder &b, const DenseLayerSpec &spec, Value bar,
+                int parallelism)
+{
+    std::vector<Value> dones;
+    for (const WorkSlice &slice : sliceWork(spec.outDim, parallelism)) {
+        auto ex = b.forLoop(
+            b.source(slice.begin), b.source(slice.end), 1, {bar},
+            [&](Builder &b, Value o, const std::vector<Value> &c) {
+                auto w_row = b.mul(o, Word{spec.inDim});
+                // Unrolled 2x for memory parallelism (inDim is even
+                // for every NN workload in the suite).
+                auto inner = b.forLoop(
+                    b.source(0), b.source(spec.inDim), 2, {b.source(0)},
+                    [&](Builder &b, Value i,
+                        const std::vector<Value> &acc) {
+                        auto wi = b.add(w_row, i);
+                        auto wv0 = b.load(wordAddrV(b, spec.w, wi));
+                        auto xv0 =
+                            b.load(wordAddrV(b, spec.in, i), bar);
+                        auto wv1 = b.load(
+                            wordAddrV(b, spec.w, b.add(wi, Word{1})));
+                        auto xv1 = b.load(
+                            wordAddrV(b, spec.in, b.add(i, Word{1})),
+                            bar);
+                        auto prod = b.add(b.mul(wv0, xv0),
+                                          b.mul(wv1, xv1));
+                        return std::vector<Value>{b.add(acc[0], prod)};
+                    });
+                auto biased =
+                    b.add(inner[0], b.load(wordAddrV(b, spec.bias, o)));
+                auto result =
+                    spec.relu ? b.max(biased, Word{0}) : biased;
+                auto done =
+                    b.store(wordAddrV(b, spec.out, o), result);
+                return std::vector<Value>{b.bor(c[0], done)};
+            },
+            "dense.rows");
+        dones.push_back(ex[0]);
+    }
+    return joinTokens(b, dones);
+}
+
+/** MLPerf-Tiny anomaly detection: a small autoencoder MLP. */
+class AdWorkload : public WorkloadBase
+{
+  public:
+    explicit AdWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "ad"; }
+    std::string
+    description() const override
+    {
+        return "Anomaly detection (MLPerfTiny)";
+    }
+    std::string paperInput() const override { return "Size: 5x128"; }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage("MLP ", kIn, "-", kHidden, "-", kIn);
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        x_ = randomVector(rng, kIn);
+        w1_ = randomVector(rng, kHidden * kIn, -4, 4);
+        b1_ = randomVector(rng, kHidden, -4, 4);
+        w2_ = randomVector(rng, kIn * kHidden, -4, 4);
+        b2_ = randomVector(rng, kIn, -4, 4);
+
+        xBase_ = allocAndWrite(store, x_);
+        w1Base_ = allocAndWrite(store, w1_);
+        b1Base_ = allocAndWrite(store, b1_);
+        w2Base_ = allocAndWrite(store, w2_);
+        b2Base_ = allocAndWrite(store, b2_);
+        h_ = store.allocWords(static_cast<std::size_t>(kHidden));
+        y_ = store.allocWords(static_cast<std::size_t>(kIn));
+
+        // Host reference.
+        std::vector<Word> hv(static_cast<std::size_t>(kHidden));
+        for (int o = 0; o < kHidden; ++o) {
+            Word acc = b1_[static_cast<std::size_t>(o)];
+            for (int i = 0; i < kIn; ++i) {
+                acc += w1_[static_cast<std::size_t>(o * kIn + i)] *
+                       x_[static_cast<std::size_t>(i)];
+            }
+            hv[static_cast<std::size_t>(o)] = reluH(acc);
+        }
+        std::vector<Word> yv(static_cast<std::size_t>(kIn));
+        for (int o = 0; o < kIn; ++o) {
+            Word acc = b2_[static_cast<std::size_t>(o)];
+            for (int i = 0; i < kHidden; ++i) {
+                acc += w2_[static_cast<std::size_t>(o * kHidden + i)] *
+                       hv[static_cast<std::size_t>(i)];
+            }
+            yv[static_cast<std::size_t>(o)] = acc;
+        }
+        expectRegion("hidden", h_, std::move(hv));
+        expectRegion("y", y_, std::move(yv));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        auto start = b.source(0, "start");
+        DenseLayerSpec l1{xBase_, w1Base_, b1Base_, h_, kIn, kHidden,
+                          true};
+        Value bar1 = buildDenseLayer(b, l1, start, parallelism);
+        DenseLayerSpec l2{h_, w2Base_, b2Base_, y_, kHidden, kIn,
+                          false};
+        Value bar2 = buildDenseLayer(b, l2, bar1, parallelism);
+        b.sink(bar2, "done");
+        return b.takeGraph();
+    }
+
+  private:
+    static constexpr int kIn = 24;
+    static constexpr int kHidden = 16;
+    std::vector<Word> x_, w1_, b1_, w2_, b2_;
+    Addr xBase_ = 0, w1Base_ = 0, b1Base_ = 0, w2Base_ = 0, b2Base_ = 0;
+    Addr h_ = 0, y_ = 0;
+};
+
+/** MLPerf-Tiny image classification: tiny conv + dense head. */
+class IcWorkload : public WorkloadBase
+{
+  public:
+    explicit IcWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "ic"; }
+    std::string
+    description() const override
+    {
+        return "Image classification (MLPerfTiny)";
+    }
+    std::string paperInput() const override { return "Size: 32x32"; }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage("conv3x3 ", kH, "x", kW, "x", kIc, "->",
+                             kOc, " + dense ", kOut);
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        in_ = randomVector(rng, kH * kW * kIc, -8, 8);
+        wc_ = randomVector(rng, kOc * 9 * kIc, -4, 4);
+        wd_ = randomVector(rng, kOut * kAct, -4, 4);
+
+        inBase_ = allocAndWrite(store, in_);
+        wcBase_ = allocAndWrite(store, wc_);
+        wdBase_ = allocAndWrite(store, wd_);
+        actBase_ = store.allocWords(static_cast<std::size_t>(kAct));
+        outBase_ = store.allocWords(static_cast<std::size_t>(kOut));
+
+        // Host conv (valid, stride 1) + relu.
+        std::vector<Word> act(static_cast<std::size_t>(kAct));
+        for (int oc = 0; oc < kOc; ++oc) {
+            for (int y = 0; y < kOh; ++y) {
+                for (int x = 0; x < kOw; ++x) {
+                    Word acc = 0;
+                    for (int ky = 0; ky < 3; ++ky) {
+                        for (int kx = 0; kx < 3; ++kx) {
+                            for (int ic = 0; ic < kIc; ++ic) {
+                                Word iv = in_[static_cast<std::size_t>(
+                                    ((y + ky) * kW + (x + kx)) * kIc +
+                                    ic)];
+                                Word wv = wc_[static_cast<std::size_t>(
+                                    ((oc * 3 + ky) * 3 + kx) * kIc +
+                                    ic)];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    act[static_cast<std::size_t>((y * kOw + x) * kOc +
+                                                 oc)] = reluH(acc);
+                }
+            }
+        }
+        // Dense head.
+        std::vector<Word> out(static_cast<std::size_t>(kOut));
+        for (int o = 0; o < kOut; ++o) {
+            Word acc = 0;
+            for (int i = 0; i < kAct; ++i) {
+                acc += wd_[static_cast<std::size_t>(o * kAct + i)] *
+                       act[static_cast<std::size_t>(i)];
+            }
+            out[static_cast<std::size_t>(o)] = acc;
+        }
+        expectRegion("act", actBase_, std::move(act));
+        expectRegion("logits", outBase_, std::move(out));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        auto start = b.source(0, "start");
+
+        // Convolution: workers slice output channels.
+        std::vector<Value> dones;
+        for (const WorkSlice &slice : sliceWork(kOc, parallelism)) {
+            auto ex = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1, {start},
+                [&](Builder &b, Value oc, const std::vector<Value> &c) {
+                    auto w_oc = b.mul(oc, Word{9 * kIc});
+                    auto pix = b.forLoop(
+                        b.source(0), b.source(kOh * kOw), 1, {c[0]},
+                        [&](Builder &b, Value p,
+                            const std::vector<Value> &cp) {
+                            auto y = b.div(p, Word{kOw});
+                            auto x = b.rem(p, Word{kOw});
+                            auto taps = b.forLoop(
+                                b.source(0), b.source(9 * kIc), 1,
+                                {b.source(0)},
+                                [&](Builder &b, Value t,
+                                    const std::vector<Value> &acc) {
+                                    auto ic = b.rem(t, Word{kIc});
+                                    auto kxy = b.div(t, Word{kIc});
+                                    auto ky = b.div(kxy, Word{3});
+                                    auto kx = b.rem(kxy, Word{3});
+                                    auto iy = b.add(y, ky);
+                                    auto ix = b.add(x, kx);
+                                    auto in_idx = b.add(
+                                        b.mul(b.add(b.mul(iy,
+                                                          Word{kW}),
+                                                    ix),
+                                              Word{kIc}),
+                                        ic);
+                                    auto iv = b.load(
+                                        wordAddrV(b, inBase_, in_idx));
+                                    auto wv = b.load(wordAddrV(
+                                        b, wcBase_, b.add(w_oc, t)));
+                                    return std::vector<Value>{b.add(
+                                        acc[0], b.mul(iv, wv))};
+                                });
+                            auto out_idx =
+                                b.add(b.mul(p, Word{kOc}), oc);
+                            auto done = b.store(
+                                wordAddrV(b, actBase_, out_idx),
+                                b.max(taps[0], Word{0}));
+                            return std::vector<Value>{
+                                b.bor(cp[0], done)};
+                        });
+                    return std::vector<Value>{pix[0]};
+                },
+                "ic.conv");
+            dones.push_back(ex[0]);
+        }
+        Value bar = joinTokens(b, dones);
+
+        // Dense head ordered after the conv.
+        std::vector<Value> head_dones;
+        for (const WorkSlice &slice : sliceWork(kOut, parallelism)) {
+            if (slice.begin >= slice.end)
+                continue;
+            auto ex = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1, {bar},
+                [&](Builder &b, Value o, const std::vector<Value> &c) {
+                    auto w_row = b.mul(o, Word{kAct});
+                    auto inner = b.forLoop(
+                        b.source(0), b.source(kAct), 1, {b.source(0)},
+                        [&](Builder &b, Value i,
+                            const std::vector<Value> &acc) {
+                            auto wv = b.load(
+                                wordAddrV(b, wdBase_, b.add(w_row, i)));
+                            auto av =
+                                b.load(wordAddrV(b, actBase_, i), bar);
+                            return std::vector<Value>{
+                                b.add(acc[0], b.mul(wv, av))};
+                        });
+                    auto done = b.store(wordAddrV(b, outBase_, o),
+                                        inner[0]);
+                    return std::vector<Value>{b.bor(c[0], done)};
+                },
+                "ic.dense");
+            head_dones.push_back(ex[0]);
+        }
+        b.sink(joinTokens(b, head_dones), "done");
+        return b.takeGraph();
+    }
+
+  private:
+    static constexpr int kH = 6, kW = 6, kIc = 3, kOc = 4;
+    static constexpr int kOh = kH - 2, kOw = kW - 2;
+    static constexpr int kAct = kOh * kOw * kOc;
+    static constexpr int kOut = 6;
+    std::vector<Word> in_, wc_, wd_;
+    Addr inBase_ = 0, wcBase_ = 0, wdBase_ = 0, actBase_ = 0,
+         outBase_ = 0;
+};
+
+/** Visual wake words: depthwise-separable conv + pool + dense. */
+class VwwWorkload : public WorkloadBase
+{
+  public:
+    explicit VwwWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "vww"; }
+    std::string
+    description() const override
+    {
+        return "Visual wake words (MLPerfTiny)";
+    }
+    std::string paperInput() const override { return "Size: 96x96"; }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage("dw3x3+pw ", kH, "x", kW, "x", kC, "->",
+                             kOc, ", pool, dense 2");
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        in_ = randomVector(rng, kH * kW * kC, -8, 8);
+        dw_ = randomVector(rng, kC * 9, -4, 4);
+        pw_ = randomVector(rng, kOc * kC, -4, 4);
+        fc_ = randomVector(rng, 2 * kOc, -4, 4);
+
+        inBase_ = allocAndWrite(store, in_);
+        dwBase_ = allocAndWrite(store, dw_);
+        pwBase_ = allocAndWrite(store, pw_);
+        fcBase_ = allocAndWrite(store, fc_);
+        dwOut_ = store.allocWords(static_cast<std::size_t>(kSp * kC));
+        pwOut_ = store.allocWords(static_cast<std::size_t>(kSp * kOc));
+        poolOut_ = store.allocWords(static_cast<std::size_t>(kOc));
+        logits_ = store.allocWords(2);
+
+        // Host reference.
+        std::vector<Word> dw_act(static_cast<std::size_t>(kSp * kC));
+        for (int ch = 0; ch < kC; ++ch) {
+            for (int y = 0; y < kOh; ++y) {
+                for (int x = 0; x < kOw; ++x) {
+                    Word acc = 0;
+                    for (int ky = 0; ky < 3; ++ky) {
+                        for (int kx = 0; kx < 3; ++kx) {
+                            acc += in_[static_cast<std::size_t>(
+                                       ((y + ky) * kW + (x + kx)) *
+                                           kC +
+                                       ch)] *
+                                   dw_[static_cast<std::size_t>(
+                                       (ch * 3 + ky) * 3 + kx)];
+                        }
+                    }
+                    dw_act[static_cast<std::size_t>((y * kOw + x) * kC +
+                                                    ch)] = reluH(acc);
+                }
+            }
+        }
+        std::vector<Word> pw_act(static_cast<std::size_t>(kSp * kOc));
+        for (int p = 0; p < kSp; ++p) {
+            for (int oc = 0; oc < kOc; ++oc) {
+                Word acc = 0;
+                for (int ic = 0; ic < kC; ++ic) {
+                    acc +=
+                        dw_act[static_cast<std::size_t>(p * kC + ic)] *
+                        pw_[static_cast<std::size_t>(oc * kC + ic)];
+                }
+                pw_act[static_cast<std::size_t>(p * kOc + oc)] =
+                    reluH(acc);
+            }
+        }
+        std::vector<Word> pooled(static_cast<std::size_t>(kOc));
+        for (int oc = 0; oc < kOc; ++oc) {
+            Word acc = 0;
+            for (int p = 0; p < kSp; ++p)
+                acc += pw_act[static_cast<std::size_t>(p * kOc + oc)];
+            pooled[static_cast<std::size_t>(oc)] = acc / kSp;
+        }
+        std::vector<Word> lg(2);
+        for (int o = 0; o < 2; ++o) {
+            Word acc = 0;
+            for (int ic = 0; ic < kOc; ++ic) {
+                acc += fc_[static_cast<std::size_t>(o * kOc + ic)] *
+                       pooled[static_cast<std::size_t>(ic)];
+            }
+            lg[static_cast<std::size_t>(o)] = acc;
+        }
+        expectRegion("dw", dwOut_, std::move(dw_act));
+        expectRegion("pw", pwOut_, std::move(pw_act));
+        expectRegion("pool", poolOut_, std::move(pooled));
+        expectRegion("logits", logits_, std::move(lg));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        auto start = b.source(0, "start");
+
+        // Depthwise conv: workers slice channels.
+        std::vector<Value> dones;
+        for (const WorkSlice &slice : sliceWork(kC, parallelism)) {
+            if (slice.begin >= slice.end)
+                continue;
+            auto ex = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1, {start},
+                [&](Builder &b, Value ch, const std::vector<Value> &c) {
+                    auto w_ch = b.mul(ch, Word{9});
+                    auto pix = b.forLoop(
+                        b.source(0), b.source(kSp), 1, {c[0]},
+                        [&](Builder &b, Value p,
+                            const std::vector<Value> &cp) {
+                            auto y = b.div(p, Word{kOw});
+                            auto x = b.rem(p, Word{kOw});
+                            auto taps = b.forLoop(
+                                b.source(0), b.source(9), 1,
+                                {b.source(0)},
+                                [&](Builder &b, Value t,
+                                    const std::vector<Value> &acc) {
+                                    auto ky = b.div(t, Word{3});
+                                    auto kx = b.rem(t, Word{3});
+                                    auto idx = b.add(
+                                        b.mul(
+                                            b.add(
+                                                b.mul(b.add(y, ky),
+                                                      Word{kW}),
+                                                b.add(x, kx)),
+                                            Word{kC}),
+                                        ch);
+                                    auto iv = b.load(
+                                        wordAddrV(b, inBase_, idx));
+                                    auto wv = b.load(wordAddrV(
+                                        b, dwBase_, b.add(w_ch, t)));
+                                    return std::vector<Value>{b.add(
+                                        acc[0], b.mul(iv, wv))};
+                                });
+                            auto out_idx =
+                                b.add(b.mul(p, Word{kC}), ch);
+                            auto done = b.store(
+                                wordAddrV(b, dwOut_, out_idx),
+                                b.max(taps[0], Word{0}));
+                            return std::vector<Value>{
+                                b.bor(cp[0], done)};
+                        });
+                    return std::vector<Value>{pix[0]};
+                },
+                "vww.dw");
+            dones.push_back(ex[0]);
+        }
+        Value bar1 = joinTokens(b, dones);
+
+        // Pointwise conv ordered after depthwise.
+        std::vector<Value> pw_dones;
+        for (const WorkSlice &slice : sliceWork(kOc, parallelism)) {
+            if (slice.begin >= slice.end)
+                continue;
+            auto ex = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1, {bar1},
+                [&](Builder &b, Value oc, const std::vector<Value> &c) {
+                    auto w_oc = b.mul(oc, Word{kC});
+                    auto pix = b.forLoop(
+                        b.source(0), b.source(kSp), 1, {c[0]},
+                        [&](Builder &b, Value p,
+                            const std::vector<Value> &cp) {
+                            auto inner = b.forLoop(
+                                b.source(0), b.source(kC), 1,
+                                {b.source(0)},
+                                [&](Builder &b, Value ic,
+                                    const std::vector<Value> &acc) {
+                                    auto av = b.load(
+                                        wordAddrV(
+                                            b, dwOut_,
+                                            b.add(b.mul(p, Word{kC}),
+                                                  ic)),
+                                        bar1);
+                                    auto wv = b.load(wordAddrV(
+                                        b, pwBase_, b.add(w_oc, ic)));
+                                    return std::vector<Value>{b.add(
+                                        acc[0], b.mul(av, wv))};
+                                });
+                            auto done = b.store(
+                                wordAddrV(b, pwOut_,
+                                          b.add(b.mul(p, Word{kOc}),
+                                                oc)),
+                                b.max(inner[0], Word{0}));
+                            return std::vector<Value>{
+                                b.bor(cp[0], done)};
+                        });
+                    return std::vector<Value>{pix[0]};
+                },
+                "vww.pw");
+            pw_dones.push_back(ex[0]);
+        }
+        Value bar2 = joinTokens(b, pw_dones);
+
+        // Global average pool + dense, single worker (tiny).
+        auto pool = b.forLoop(
+            b.source(0), b.source(kOc), 1, {bar2},
+            [&](Builder &b, Value oc, const std::vector<Value> &c) {
+                auto inner = b.forLoop(
+                    b.source(0), b.source(kSp), 1, {b.source(0)},
+                    [&](Builder &b, Value p,
+                        const std::vector<Value> &acc) {
+                        auto av = b.load(
+                            wordAddrV(b, pwOut_,
+                                      b.add(b.mul(p, Word{kOc}), oc)),
+                            bar2);
+                        return std::vector<Value>{b.add(acc[0], av)};
+                    });
+                auto done =
+                    b.store(wordAddrV(b, poolOut_, oc),
+                            b.div(inner[0], Word{kSp}));
+                return std::vector<Value>{b.bor(c[0], done)};
+            },
+            "vww.pool");
+        Value bar3 = pool[0];
+
+        auto head = b.forLoop(
+            b.source(0), b.source(2), 1, {bar3},
+            [&](Builder &b, Value o, const std::vector<Value> &c) {
+                auto inner = b.forLoop(
+                    b.source(0), b.source(kOc), 1, {b.source(0)},
+                    [&](Builder &b, Value ic,
+                        const std::vector<Value> &acc) {
+                        auto pv = b.load(wordAddrV(b, poolOut_, ic),
+                                         bar3);
+                        auto wv = b.load(wordAddrV(
+                            b, fcBase_,
+                            b.add(b.mul(o, Word{kOc}), ic)));
+                        return std::vector<Value>{
+                            b.add(acc[0], b.mul(pv, wv))};
+                    });
+                auto done =
+                    b.store(wordAddrV(b, logits_, o), inner[0]);
+                return std::vector<Value>{b.bor(c[0], done)};
+            },
+            "vww.fc");
+        b.sink(head[0], "done");
+        return b.takeGraph();
+    }
+
+  private:
+    static constexpr int kH = 6, kW = 6, kC = 4, kOc = 8;
+    static constexpr int kOh = kH - 2, kOw = kW - 2;
+    static constexpr int kSp = kOh * kOw;
+    std::vector<Word> in_, dw_, pw_, fc_;
+    Addr inBase_ = 0, dwBase_ = 0, pwBase_ = 0, fcBase_ = 0;
+    Addr dwOut_ = 0, pwOut_ = 0, poolOut_ = 0, logits_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeFft(std::uint64_t seed)
+{
+    return std::make_unique<FftWorkload>(seed);
+}
+
+std::unique_ptr<Workload>
+makeAd(std::uint64_t seed)
+{
+    return std::make_unique<AdWorkload>(seed);
+}
+
+std::unique_ptr<Workload>
+makeIc(std::uint64_t seed)
+{
+    return std::make_unique<IcWorkload>(seed);
+}
+
+std::unique_ptr<Workload>
+makeVww(std::uint64_t seed)
+{
+    return std::make_unique<VwwWorkload>(seed);
+}
+
+} // namespace detail
+} // namespace nupea

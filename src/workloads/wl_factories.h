@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Internal factory declarations for the individual workloads; the
+ * public entry point is makeWorkload() in workload.h.
+ */
+
+#ifndef NUPEA_WORKLOADS_WL_FACTORIES_H
+#define NUPEA_WORKLOADS_WL_FACTORIES_H
+
+#include <cstdint>
+#include <memory>
+
+#include "workloads/workload.h"
+
+namespace nupea
+{
+namespace detail
+{
+
+std::unique_ptr<Workload> makeDmv(std::uint64_t seed);
+std::unique_ptr<Workload> makeJacobi2d(std::uint64_t seed);
+std::unique_ptr<Workload> makeHeat3d(std::uint64_t seed);
+std::unique_ptr<Workload> makeSpmv(std::uint64_t seed);
+std::unique_ptr<Workload> makeSpmspm(std::uint64_t seed);
+std::unique_ptr<Workload> makeSpmspv(std::uint64_t seed);
+std::unique_ptr<Workload> makeSpadd(std::uint64_t seed);
+std::unique_ptr<Workload> makeTc(std::uint64_t seed);
+std::unique_ptr<Workload> makeMergesort(std::uint64_t seed);
+std::unique_ptr<Workload> makeFft(std::uint64_t seed);
+std::unique_ptr<Workload> makeAd(std::uint64_t seed);
+std::unique_ptr<Workload> makeIc(std::uint64_t seed);
+std::unique_ptr<Workload> makeVww(std::uint64_t seed);
+
+} // namespace detail
+} // namespace nupea
+
+#endif // NUPEA_WORKLOADS_WL_FACTORIES_H

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Graph-processing and sorting workloads: tc (triangle counting,
+ * GAPBS-style) and mergesort (bottom-up, with inter-pass memory
+ * ordering). Triangle counting intersects sorted neighbor lists with
+ * the same stream-join shape as the sparse kernels.
+ */
+
+#include "workloads/wl_factories.h"
+
+#include <algorithm>
+
+#include "dfg/builder.h"
+#include "workloads/wl_base.h"
+
+namespace nupea
+{
+namespace detail
+{
+
+namespace
+{
+
+using Value = Builder::Value;
+
+/** Triangle counting over an undirected random graph. */
+class TcWorkload : public WorkloadBase
+{
+  public:
+    explicit TcWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "tc"; }
+    std::string
+    description() const override
+    {
+        return "Triangle counting (GAPBS)";
+    }
+    std::string
+    paperInput() const override
+    {
+        return "Nodes: 4096, Sparsity: 5%";
+    }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage("Nodes: ", kN, ", Sparsity: 8%");
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        // Upper-triangular adjacency: node u keeps neighbors > u,
+        // sorted ascending (the standard GAPBS tc preprocessing).
+        rowPtr_.assign(1, 0);
+        adj_.clear();
+        for (int u = 0; u < kN; ++u) {
+            for (int v = u + 1; v < kN; ++v) {
+                if (rng.chance(0.08))
+                    adj_.push_back(v);
+            }
+            rowPtr_.push_back(static_cast<Word>(adj_.size()));
+        }
+        rowPtrBase_ = allocAndWrite(store, rowPtr_);
+        adjBase_ = allocAndWrite(store, adj_);
+        cntBase_ = store.allocWords(static_cast<std::size_t>(kN));
+
+        // Host reference: per-u triangle contributions.
+        std::vector<Word> counts(static_cast<std::size_t>(kN), 0);
+        for (int u = 0; u < kN; ++u) {
+            Word acc = 0;
+            for (Word k = rowPtr_[static_cast<std::size_t>(u)];
+                 k < rowPtr_[static_cast<std::size_t>(u) + 1]; ++k) {
+                Word v = adj_[static_cast<std::size_t>(k)];
+                std::vector<Word> nu(
+                    adj_.begin() + rowPtr_[static_cast<std::size_t>(u)],
+                    adj_.begin() +
+                        rowPtr_[static_cast<std::size_t>(u) + 1]);
+                std::vector<Word> nv(
+                    adj_.begin() + rowPtr_[static_cast<std::size_t>(v)],
+                    adj_.begin() +
+                        rowPtr_[static_cast<std::size_t>(v) + 1]);
+                acc += refIntersectCount(nu, nv);
+            }
+            counts[static_cast<std::size_t>(u)] = acc;
+        }
+        expectRegion("cnt", cntBase_, std::move(counts));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        for (const WorkSlice &slice : sliceWork(kN, parallelism)) {
+            auto exits = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1,
+                {b.source(0)},
+                [&](Builder &b, Value u, const std::vector<Value> &c) {
+                    auto beg_u = b.load(wordAddrV(b, rowPtrBase_, u));
+                    auto end_u = b.load(
+                        wordAddrV(b, rowPtrBase_, b.add(u, Word{1})));
+                    auto edges = b.whileLoop(
+                        {beg_u, b.source(0)},
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            return b.lt(cur[0], end_u);
+                        },
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            auto v = b.load(
+                                wordAddrV(b, adjBase_, cur[0]), {},
+                                "adj[k]");
+                            auto beg_v =
+                                b.load(wordAddrV(b, rowPtrBase_, v));
+                            auto end_v = b.load(wordAddrV(
+                                b, rowPtrBase_, b.add(v, Word{1})));
+                            auto join = b.whileLoop(
+                                {beg_u, beg_v, b.source(0)},
+                                [&](Builder &b,
+                                    const std::vector<Value> &cur2) {
+                                    return b.band(
+                                        b.lt(cur2[0], end_u),
+                                        b.lt(cur2[1], end_v));
+                                },
+                                [&](Builder &b,
+                                    const std::vector<Value> &cur2) {
+                                    auto a = b.load(
+                                        wordAddrV(b, adjBase_,
+                                                  cur2[0]),
+                                        {}, "N(u)");
+                                    auto bb = b.load(
+                                        wordAddrV(b, adjBase_,
+                                                  cur2[1]),
+                                        {}, "N(v)");
+                                    return std::vector<Value>{
+                                        b.add(cur2[0], b.le(a, bb)),
+                                        b.add(cur2[1], b.le(bb, a)),
+                                        b.add(cur2[2], b.eq(a, bb))};
+                                },
+                                "tc.join");
+                            return std::vector<Value>{
+                                b.add(cur[0], Word{1}),
+                                b.add(cur[1], join[2])};
+                        },
+                        "tc.edges");
+                    b.store(wordAddrV(b, cntBase_, u), edges[1]);
+                    return std::vector<Value>{c[0]};
+                },
+                "tc.nodes");
+            b.sink(exits[0]);
+        }
+        return b.takeGraph();
+    }
+
+  private:
+    static constexpr int kN = 40;
+    std::vector<Word> rowPtr_, adj_;
+    Addr rowPtrBase_ = 0, adjBase_ = 0, cntBase_ = 0;
+};
+
+/** Bottom-up merge sort with inter-pass memory ordering. */
+class MergesortWorkload : public WorkloadBase
+{
+  public:
+    explicit MergesortWorkload(std::uint64_t seed) : WorkloadBase(seed)
+    {}
+
+    std::string name() const override { return "mergesort"; }
+    std::string description() const override { return "Mergesort"; }
+    std::string paperInput() const override { return "List size: 2^20"; }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage("List size: ", kN);
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        data_ = randomVector(rng, kN, -1000, 1000);
+        aBase_ = allocAndWrite(store, data_);
+        bBase_ = store.allocWords(static_cast<std::size_t>(kN));
+
+        std::vector<Word> sorted = data_;
+        std::sort(sorted.begin(), sorted.end());
+        // log2(kN) passes: even pass count leaves the result in A.
+        int passes = 0;
+        for (int w = 1; w < kN; w *= 2)
+            ++passes;
+        expectRegion("sorted", passes % 2 == 0 ? aBase_ : bBase_,
+                     std::move(sorted));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        const int workers = parallelism;
+
+        auto exits = b.whileLoop(
+            {b.source(1), b.source(0),
+             b.source(static_cast<Word>(aBase_)),
+             b.source(static_cast<Word>(bBase_))},
+            [&](Builder &b, const std::vector<Value> &cur) {
+                return b.lt(cur[0], Word{kN});
+            },
+            [&](Builder &b, const std::vector<Value> &cur) {
+                Value width = cur[0];
+                Value bar = cur[1];
+                Value src = cur[2];
+                Value dst = cur[3];
+                auto pair_span = b.shl(width, Word{1});
+                auto num_pairs = b.div(Word{kN}, pair_span);
+                std::vector<Value> dones;
+                for (int p = 0; p < workers; ++p) {
+                    // Worker p merges pairs p, p+P, p+2P, ...
+                    auto w_exit = b.whileLoop(
+                        {b.source(p), bar},
+                        [&](Builder &b, const std::vector<Value> &cw) {
+                            return b.lt(cw[0], num_pairs);
+                        },
+                        [&](Builder &b, const std::vector<Value> &cw) {
+                            auto base = b.mul(cw[0], pair_span);
+                            auto mid = b.add(base, width);
+                            auto hi = b.add(base, pair_span);
+                            auto lda = [&](Value idx) {
+                                return b.load(
+                                    b.add(src, b.mul(idx, Word{4})),
+                                    bar);
+                            };
+                            auto sta = [&](Value idx, Value v) {
+                                return b.store(
+                                    b.add(dst, b.mul(idx, Word{4})),
+                                    v);
+                            };
+                            auto join = b.whileLoop(
+                                {base, mid, base, cw[1]},
+                                [&](Builder &b,
+                                    const std::vector<Value> &cm) {
+                                    return b.band(b.lt(cm[0], mid),
+                                                  b.lt(cm[1], hi));
+                                },
+                                [&](Builder &b,
+                                    const std::vector<Value> &cm) {
+                                    auto xi = lda(cm[0]);
+                                    auto xj = lda(cm[1]);
+                                    auto take_i = b.le(xi, xj);
+                                    auto val = b.select(take_i, xi, xj);
+                                    auto done = sta(cm[2], val);
+                                    return std::vector<Value>{
+                                        b.add(cm[0], take_i),
+                                        b.add(cm[1],
+                                              b.sub(Word{1}, take_i)),
+                                        b.add(cm[2], Word{1}),
+                                        b.bor(cm[3], done)};
+                                },
+                                "merge.join");
+                            auto drain_i = b.whileLoop(
+                                {join[0], join[2], join[3]},
+                                [&](Builder &b,
+                                    const std::vector<Value> &cm) {
+                                    return b.lt(cm[0], mid);
+                                },
+                                [&](Builder &b,
+                                    const std::vector<Value> &cm) {
+                                    auto done = sta(cm[1], lda(cm[0]));
+                                    return std::vector<Value>{
+                                        b.add(cm[0], Word{1}),
+                                        b.add(cm[1], Word{1}),
+                                        b.bor(cm[2], done)};
+                                },
+                                "merge.drainL");
+                            auto drain_j = b.whileLoop(
+                                {join[1], drain_i[1], drain_i[2]},
+                                [&](Builder &b,
+                                    const std::vector<Value> &cm) {
+                                    return b.lt(cm[0], hi);
+                                },
+                                [&](Builder &b,
+                                    const std::vector<Value> &cm) {
+                                    auto done = sta(cm[1], lda(cm[0]));
+                                    return std::vector<Value>{
+                                        b.add(cm[0], Word{1}),
+                                        b.add(cm[1], Word{1}),
+                                        b.bor(cm[2], done)};
+                                },
+                                "merge.drainR");
+                            return std::vector<Value>{
+                                b.add(cw[0], Word{workers}),
+                                drain_j[2]};
+                        },
+                        "merge.pairs");
+                    dones.push_back(w_exit[1]);
+                }
+                Value new_bar = joinTokens(b, dones);
+                return std::vector<Value>{pair_span, new_bar, dst, src};
+            },
+            "merge.passes");
+        b.sink(exits[1], "final-barrier");
+        return b.takeGraph();
+    }
+
+    int preferredParallelism() const override { return 4; }
+
+  private:
+    static constexpr int kN = 64;
+    std::vector<Word> data_;
+    Addr aBase_ = 0, bBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTc(std::uint64_t seed)
+{
+    return std::make_unique<TcWorkload>(seed);
+}
+
+std::unique_ptr<Workload>
+makeMergesort(std::uint64_t seed)
+{
+    return std::make_unique<MergesortWorkload>(seed);
+}
+
+} // namespace detail
+} // namespace nupea

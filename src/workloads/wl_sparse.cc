@@ -1,0 +1,591 @@
+/**
+ * @file
+ * Sparse linear-algebra workloads (TACO-generated in the paper):
+ * spmv, spmspv, spmspm, spadd. The sparse-sparse kernels implement
+ * their intersections/unions as stream-joins (paper Fig. 5), whose
+ * index loads sit on the loop-governing recurrence — the class (a)
+ * critical loads NUPEA accelerates.
+ */
+
+#include "workloads/wl_factories.h"
+
+#include "dfg/builder.h"
+#include "workloads/wl_base.h"
+
+namespace nupea
+{
+namespace detail
+{
+
+namespace
+{
+
+using Value = Builder::Value;
+
+/** Memory image of a CSR matrix. */
+struct CsrImage
+{
+    Addr rowPtr = 0;
+    Addr colIdx = 0;
+    Addr values = 0;
+};
+
+CsrImage
+writeCsr(BackingStore &store, const CsrMatrix &m)
+{
+    CsrImage img;
+    img.rowPtr = store.allocWords(m.rowPtr.size());
+    img.colIdx = store.allocWords(m.colIdx.size() + 1); // +1 sentinel
+    img.values = store.allocWords(m.values.size() + 1);
+    for (std::size_t i = 0; i < m.rowPtr.size(); ++i)
+        store.storeWord(img.rowPtr + static_cast<Addr>(4 * i),
+                        m.rowPtr[i]);
+    for (std::size_t i = 0; i < m.colIdx.size(); ++i)
+        store.storeWord(img.colIdx + static_cast<Addr>(4 * i),
+                        m.colIdx[i]);
+    for (std::size_t i = 0; i < m.values.size(); ++i)
+        store.storeWord(img.values + static_cast<Addr>(4 * i),
+                        m.values[i]);
+    return img;
+}
+
+/** Sparse matrix x dense vector. */
+class SpmvWorkload : public WorkloadBase
+{
+  public:
+    explicit SpmvWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "spmv"; }
+    std::string
+    description() const override
+    {
+        return "Sparse matrix-dense vector (TACO)";
+    }
+    std::string
+    paperInput() const override
+    {
+        return "4,096x4,096, Sparsity: 90%";
+    }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage(kN, "x", kN, ", Sparsity: 90%");
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        a_ = randomCsr(rng, kN, kN, 0.1);
+        x_ = randomVector(rng, kN);
+        aImg_ = writeCsr(store, a_);
+        xBase_ = allocAndWrite(store, x_);
+        yBase_ = store.allocWords(static_cast<std::size_t>(kN));
+        expectRegion("y", yBase_, refSpmv(a_, x_));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        for (const WorkSlice &slice : sliceWork(kN, parallelism)) {
+            auto exits = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1,
+                {b.source(0)},
+                [&](Builder &b, Value r, const std::vector<Value> &c) {
+                    auto beg = b.load(wordAddrV(b, aImg_.rowPtr, r), {},
+                                      "rowPtr[r]");
+                    auto end = b.load(
+                        wordAddrV(b, aImg_.rowPtr, b.add(r, Word{1})),
+                        {}, "rowPtr[r+1]");
+                    auto inner = b.whileLoop(
+                        {beg, b.source(0)},
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            return b.lt(cur[0], end);
+                        },
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            auto col = b.load(
+                                wordAddrV(b, aImg_.colIdx, cur[0]), {},
+                                "colIdx[k]");
+                            auto av = b.load(
+                                wordAddrV(b, aImg_.values, cur[0]), {},
+                                "A.val[k]");
+                            auto xv = b.load(wordAddrV(b, xBase_, col),
+                                             {}, "x[col]");
+                            return std::vector<Value>{
+                                b.add(cur[0], Word{1}),
+                                b.add(cur[1], b.mul(av, xv))};
+                        },
+                        "spmv.nnz");
+                    b.store(wordAddrV(b, yBase_, r), inner[1]);
+                    return std::vector<Value>{c[0]};
+                },
+                "spmv.rows");
+            b.sink(exits[0]);
+        }
+        return b.takeGraph();
+    }
+
+    int preferredParallelism() const override { return 8; }
+
+  private:
+    static constexpr int kN = 64;
+    CsrMatrix a_;
+    std::vector<Word> x_;
+    CsrImage aImg_;
+    Addr xBase_ = 0, yBase_ = 0;
+};
+
+/** Sparse matrix x sparse vector via per-row stream-join. */
+class SpmspvWorkload : public WorkloadBase
+{
+  public:
+    explicit SpmspvWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "spmspv"; }
+    std::string
+    description() const override
+    {
+        return "Sparse matrix-sparse vector (TACO)";
+    }
+    std::string
+    paperInput() const override
+    {
+        return "4,096x4,096, Sparsity: 90%";
+    }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage(kN, "x", kN, ", Sparsity: 90%");
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        a_ = randomCsr(rng, kN, kN, 0.1);
+        randomSparseVector(rng, kN, 0.1, vIdx_, vVal_);
+        aImg_ = writeCsr(store, a_);
+        vIdxBase_ = allocAndWrite(store, vIdx_);
+        vValBase_ = allocAndWrite(store, vVal_);
+        dBase_ = store.allocWords(static_cast<std::size_t>(kN));
+        expectRegion("D", dBase_, refSpmspv(a_, vIdx_, vVal_));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        const Word nv = static_cast<Word>(vIdx_.size());
+        for (const WorkSlice &slice : sliceWork(kN, parallelism)) {
+            auto exits = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1,
+                {b.source(0)},
+                [&](Builder &b, Value r, const std::vector<Value> &c) {
+                    auto beg = b.load(wordAddrV(b, aImg_.rowPtr, r));
+                    auto end = b.load(
+                        wordAddrV(b, aImg_.rowPtr, b.add(r, Word{1})));
+                    // The paper's Fig. 5 stream-join: the nzIdx loads
+                    // feed the iterator updates, putting them on the
+                    // loop-governing recurrence.
+                    auto join = b.whileLoop(
+                        {beg, b.source(0), b.source(0)},
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            return b.band(b.lt(cur[0], end),
+                                          b.lt(cur[1], nv));
+                        },
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            auto ai = b.load(
+                                wordAddrV(b, aImg_.colIdx, cur[0]), {},
+                                "A.nzIdx");
+                            auto vi = b.load(
+                                wordAddrV(b, vIdxBase_, cur[1]), {},
+                                "V.nzIdx");
+                            auto av = b.load(
+                                wordAddrV(b, aImg_.values, cur[0]), {},
+                                "A.val");
+                            auto vv = b.load(
+                                wordAddrV(b, vValBase_, cur[1]), {},
+                                "V.val");
+                            auto hit = b.eq(ai, vi);
+                            auto prod =
+                                b.mul(hit, b.mul(av, vv));
+                            return std::vector<Value>{
+                                b.add(cur[0], b.le(ai, vi)),
+                                b.add(cur[1], b.le(vi, ai)),
+                                b.add(cur[2], prod)};
+                        },
+                        "spmspv.join");
+                    b.store(wordAddrV(b, dBase_, r), join[2]);
+                    return std::vector<Value>{c[0]};
+                },
+                "spmspv.rows");
+            b.sink(exits[0]);
+        }
+        return b.takeGraph();
+    }
+
+    int preferredParallelism() const override { return 8; }
+
+  private:
+    static constexpr int kN = 96;
+    CsrMatrix a_;
+    std::vector<Word> vIdx_, vVal_;
+    CsrImage aImg_;
+    Addr vIdxBase_ = 0, vValBase_ = 0, dBase_ = 0;
+};
+
+/** Sparse x sparse matrix product (inner-product formulation). */
+class SpmspmWorkload : public WorkloadBase
+{
+  public:
+    explicit SpmspmWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "spmspm"; }
+    std::string
+    description() const override
+    {
+        return "Sparse matrix-sparse matrix (TACO)";
+    }
+    std::string
+    paperInput() const override
+    {
+        return "512x512, Sparsity: 90%";
+    }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage(kN, "x", kN, ", Sparsity: 85%");
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        a_ = randomCsr(rng, kN, kN, 0.15);
+        CsrMatrix b_mat = randomCsr(rng, kN, kN, 0.15);
+        bT_ = transposeCsr(b_mat); // CSC view: row j = column j of B
+        aImg_ = writeCsr(store, a_);
+        bImg_ = writeCsr(store, bT_);
+        cBase_ = store.allocWords(static_cast<std::size_t>(kN * kN));
+
+        // Host reference: C[i][j] = <A row i, B col j>.
+        std::vector<Word> c(static_cast<std::size_t>(kN * kN), 0);
+        for (int i = 0; i < kN; ++i) {
+            for (int j = 0; j < kN; ++j) {
+                Word acc = 0;
+                std::size_t ka = static_cast<std::size_t>(
+                    a_.rowPtr[static_cast<std::size_t>(i)]);
+                std::size_t ea = static_cast<std::size_t>(
+                    a_.rowPtr[static_cast<std::size_t>(i) + 1]);
+                std::size_t kb = static_cast<std::size_t>(
+                    bT_.rowPtr[static_cast<std::size_t>(j)]);
+                std::size_t eb = static_cast<std::size_t>(
+                    bT_.rowPtr[static_cast<std::size_t>(j) + 1]);
+                while (ka < ea && kb < eb) {
+                    Word ca = a_.colIdx[ka], cb = bT_.colIdx[kb];
+                    if (ca == cb)
+                        acc += a_.values[ka] * bT_.values[kb];
+                    if (ca <= cb)
+                        ++ka;
+                    if (cb <= ca)
+                        ++kb;
+                }
+                c[static_cast<std::size_t>(i * kN + j)] = acc;
+            }
+        }
+        expectRegion("C", cBase_, std::move(c));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        for (const WorkSlice &slice : sliceWork(kN, parallelism)) {
+            auto exits = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1,
+                {b.source(0)},
+                [&](Builder &b, Value i, const std::vector<Value> &c) {
+                    auto beg_a = b.load(wordAddrV(b, aImg_.rowPtr, i));
+                    auto end_a = b.load(
+                        wordAddrV(b, aImg_.rowPtr, b.add(i, Word{1})));
+                    auto row_off = b.mul(i, Word{kN});
+                    auto cols = b.forLoop(
+                        b.source(0), b.source(kN), 1, {c[0]},
+                        [&](Builder &b, Value j,
+                            const std::vector<Value> &cj) {
+                            auto beg_b =
+                                b.load(wordAddrV(b, bImg_.rowPtr, j));
+                            auto end_b = b.load(wordAddrV(
+                                b, bImg_.rowPtr, b.add(j, Word{1})));
+                            auto join = b.whileLoop(
+                                {beg_a, beg_b, b.source(0)},
+                                [&](Builder &b,
+                                    const std::vector<Value> &cur) {
+                                    return b.band(b.lt(cur[0], end_a),
+                                                  b.lt(cur[1], end_b));
+                                },
+                                [&](Builder &b,
+                                    const std::vector<Value> &cur) {
+                                    auto ca = b.load(
+                                        wordAddrV(b, aImg_.colIdx,
+                                                  cur[0]),
+                                        {}, "A.nzIdx");
+                                    auto cb = b.load(
+                                        wordAddrV(b, bImg_.colIdx,
+                                                  cur[1]),
+                                        {}, "B.nzIdx");
+                                    auto av = b.load(wordAddrV(
+                                        b, aImg_.values, cur[0]));
+                                    auto bv = b.load(wordAddrV(
+                                        b, bImg_.values, cur[1]));
+                                    auto hit = b.eq(ca, cb);
+                                    return std::vector<Value>{
+                                        b.add(cur[0], b.le(ca, cb)),
+                                        b.add(cur[1], b.le(cb, ca)),
+                                        b.add(cur[2],
+                                              b.mul(hit,
+                                                    b.mul(av, bv)))};
+                                },
+                                "spmspm.join");
+                            b.store(wordAddrV(b, cBase_,
+                                              b.add(row_off, j)),
+                                    join[2]);
+                            return std::vector<Value>{cj[0]};
+                        });
+                    return std::vector<Value>{cols[0]};
+                },
+                "spmspm.rows");
+            b.sink(exits[0]);
+        }
+        return b.takeGraph();
+    }
+
+    int preferredParallelism() const override { return 8; }
+
+  private:
+    static constexpr int kN = 24;
+    CsrMatrix a_, bT_;
+    CsrImage aImg_, bImg_;
+    Addr cBase_ = 0;
+};
+
+/** Sparse matrix addition via per-row merge-join (union). */
+class SpaddWorkload : public WorkloadBase
+{
+  public:
+    explicit SpaddWorkload(std::uint64_t seed) : WorkloadBase(seed) {}
+
+    std::string name() const override { return "spadd"; }
+    std::string
+    description() const override
+    {
+        return "Sparse matrix addition (TACO)";
+    }
+    std::string
+    paperInput() const override
+    {
+        return "1,024x1,024, Sparsity: 50%";
+    }
+    std::string
+    scaledInput() const override
+    {
+        return formatMessage(kN, "x", kN, ", Sparsity: 50%");
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        a_ = randomCsr(rng, kN, kN, 0.5);
+        b_ = randomCsr(rng, kN, kN, 0.5);
+        aImg_ = writeCsr(store, a_);
+        bImg_ = writeCsr(store, b_);
+        std::size_t cap = a_.colIdx.size() + b_.colIdx.size();
+        cIdxBase_ = store.allocWords(cap);
+        cValBase_ = store.allocWords(cap);
+        lenBase_ = store.allocWords(static_cast<std::size_t>(kN));
+
+        // Host reference merge; unwritten slots stay zero.
+        std::vector<Word> c_idx(cap, 0), c_val(cap, 0), lens;
+        for (int r = 0; r < kN; ++r) {
+            std::size_t ia = static_cast<std::size_t>(
+                a_.rowPtr[static_cast<std::size_t>(r)]);
+            std::size_t ea = static_cast<std::size_t>(
+                a_.rowPtr[static_cast<std::size_t>(r) + 1]);
+            std::size_t ib = static_cast<std::size_t>(
+                b_.rowPtr[static_cast<std::size_t>(r)]);
+            std::size_t eb = static_cast<std::size_t>(
+                b_.rowPtr[static_cast<std::size_t>(r) + 1]);
+            std::size_t out = ia + ib;
+            std::size_t out0 = out;
+            while (ia < ea && ib < eb) {
+                Word ca = a_.colIdx[ia], cb = b_.colIdx[ib];
+                Word take_a = ca <= cb, take_b = cb <= ca;
+                c_idx[out] = std::min(ca, cb);
+                c_val[out] = (take_a ? a_.values[ia] : 0) +
+                             (take_b ? b_.values[ib] : 0);
+                ia += static_cast<std::size_t>(take_a);
+                ib += static_cast<std::size_t>(take_b);
+                ++out;
+            }
+            for (; ia < ea; ++ia, ++out) {
+                c_idx[out] = a_.colIdx[ia];
+                c_val[out] = a_.values[ia];
+            }
+            for (; ib < eb; ++ib, ++out) {
+                c_idx[out] = b_.colIdx[ib];
+                c_val[out] = b_.values[ib];
+            }
+            lens.push_back(static_cast<Word>(out - out0));
+        }
+        expectRegion("C.idx", cIdxBase_, std::move(c_idx));
+        expectRegion("C.val", cValBase_, std::move(c_val));
+        expectRegion("C.len", lenBase_, std::move(lens));
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        for (const WorkSlice &slice : sliceWork(kN, parallelism)) {
+            auto exits = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1,
+                {b.source(0)},
+                [&](Builder &b, Value r, const std::vector<Value> &c) {
+                    auto beg_a = b.load(wordAddrV(b, aImg_.rowPtr, r));
+                    auto end_a = b.load(
+                        wordAddrV(b, aImg_.rowPtr, b.add(r, Word{1})));
+                    auto beg_b = b.load(wordAddrV(b, bImg_.rowPtr, r));
+                    auto end_b = b.load(
+                        wordAddrV(b, bImg_.rowPtr, b.add(r, Word{1})));
+                    auto out0 = b.add(beg_a, beg_b);
+
+                    auto join = b.whileLoop(
+                        {beg_a, beg_b, out0},
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            return b.band(b.lt(cur[0], end_a),
+                                          b.lt(cur[1], end_b));
+                        },
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            auto ca = b.load(
+                                wordAddrV(b, aImg_.colIdx, cur[0]), {},
+                                "A.nzIdx");
+                            auto cb = b.load(
+                                wordAddrV(b, bImg_.colIdx, cur[1]), {},
+                                "B.nzIdx");
+                            auto av = b.load(
+                                wordAddrV(b, aImg_.values, cur[0]));
+                            auto bv = b.load(
+                                wordAddrV(b, bImg_.values, cur[1]));
+                            auto take_a = b.le(ca, cb);
+                            auto take_b = b.le(cb, ca);
+                            auto val =
+                                b.add(b.mul(take_a, av),
+                                      b.mul(take_b, bv));
+                            b.store(wordAddrV(b, cIdxBase_, cur[2]),
+                                    b.min(ca, cb));
+                            b.store(wordAddrV(b, cValBase_, cur[2]),
+                                    val);
+                            return std::vector<Value>{
+                                b.add(cur[0], take_a),
+                                b.add(cur[1], take_b),
+                                b.add(cur[2], Word{1})};
+                        },
+                        "spadd.join");
+
+                    auto drain_a = b.whileLoop(
+                        {join[0], join[2]},
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            return b.lt(cur[0], end_a);
+                        },
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            b.store(wordAddrV(b, cIdxBase_, cur[1]),
+                                    b.load(wordAddrV(b, aImg_.colIdx,
+                                                     cur[0])));
+                            b.store(wordAddrV(b, cValBase_, cur[1]),
+                                    b.load(wordAddrV(b, aImg_.values,
+                                                     cur[0])));
+                            return std::vector<Value>{
+                                b.add(cur[0], Word{1}),
+                                b.add(cur[1], Word{1})};
+                        },
+                        "spadd.drainA");
+
+                    auto drain_b = b.whileLoop(
+                        {join[1], drain_a[1]},
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            return b.lt(cur[0], end_b);
+                        },
+                        [&](Builder &b, const std::vector<Value> &cur) {
+                            b.store(wordAddrV(b, cIdxBase_, cur[1]),
+                                    b.load(wordAddrV(b, bImg_.colIdx,
+                                                     cur[0])));
+                            b.store(wordAddrV(b, cValBase_, cur[1]),
+                                    b.load(wordAddrV(b, bImg_.values,
+                                                     cur[0])));
+                            return std::vector<Value>{
+                                b.add(cur[0], Word{1}),
+                                b.add(cur[1], Word{1})};
+                        },
+                        "spadd.drainB");
+
+                    b.store(wordAddrV(b, lenBase_, r),
+                            b.sub(drain_b[1], out0));
+                    return std::vector<Value>{c[0]};
+                },
+                "spadd.rows");
+            b.sink(exits[0]);
+        }
+        return b.takeGraph();
+    }
+
+    int preferredParallelism() const override { return 4; }
+
+  private:
+    static constexpr int kN = 24;
+    CsrMatrix a_, b_;
+    CsrImage aImg_, bImg_;
+    Addr cIdxBase_ = 0, cValBase_ = 0, lenBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeSpmv(std::uint64_t seed)
+{
+    return std::make_unique<SpmvWorkload>(seed);
+}
+
+std::unique_ptr<Workload>
+makeSpmspv(std::uint64_t seed)
+{
+    return std::make_unique<SpmspvWorkload>(seed);
+}
+
+std::unique_ptr<Workload>
+makeSpmspm(std::uint64_t seed)
+{
+    return std::make_unique<SpmspmWorkload>(seed);
+}
+
+std::unique_ptr<Workload>
+makeSpadd(std::uint64_t seed)
+{
+    return std::make_unique<SpaddWorkload>(seed);
+}
+
+} // namespace detail
+} // namespace nupea

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Workload interface and registry: the paper's Table 1 benchmark
+ * suite, rebuilt against the DFG builder.
+ *
+ * Each workload (i) lays out its input and output data in a
+ * BackingStore, computing a host-side reference result, (ii) builds
+ * its dataflow graph at a requested parallelism degree, slicing the
+ * outer parallel loop across replicas exactly as effcc's spatial
+ * parallelization does, and (iii) verifies the simulated memory
+ * contents against the host reference after a run.
+ *
+ * Input sizes are scaled down from the paper (which runs >= 15M
+ * instructions per workload on a production simulator) so that the
+ * full figure sweeps run in seconds; EXPERIMENTS.md records the
+ * paper-vs-repro parameters per experiment.
+ */
+
+#ifndef NUPEA_WORKLOADS_WORKLOAD_H
+#define NUPEA_WORKLOADS_WORKLOAD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.h"
+#include "memory/backing_store.h"
+
+namespace nupea
+{
+
+/** One benchmark from the paper's Table 1. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name as used in the paper ("spmspv", "jacobi2d", ...). */
+    virtual std::string name() const = 0;
+
+    /** Table 1 description. */
+    virtual std::string description() const = 0;
+
+    /** Table 1 input parameters (the paper's sizes). */
+    virtual std::string paperInput() const = 0;
+
+    /** The scaled-down input this reproduction runs. */
+    virtual std::string scaledInput() const = 0;
+
+    /**
+     * Allocate and initialize inputs/outputs in `store` and compute
+     * the host reference. Deterministic: repeated calls on fresh
+     * stores produce identical layouts, so a graph built once can be
+     * re-run against re-initialized stores.
+     */
+    virtual void init(BackingStore &store) = 0;
+
+    /** Build the DFG at a parallelism degree (init() first). */
+    virtual Graph build(int parallelism) const = 0;
+
+    /**
+     * Check the simulated memory against the host reference.
+     * @return true on match; otherwise false with `why` filled in.
+     */
+    virtual bool verify(const BackingStore &store,
+                        std::string *why = nullptr) const = 0;
+
+    /**
+     * Hand-tuned parallelism degree (paper Sec. 6: parallelism was
+     * hand-optimized for most workloads). 0 = use the automatic ramp.
+     */
+    virtual int preferredParallelism() const { return 0; }
+};
+
+/** Names of all 13 workloads, in the paper's Table 1 order. */
+const std::vector<std::string> &workloadNames();
+
+/** Instantiate a workload by name (fatal on unknown name). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       std::uint64_t seed = 42);
+
+} // namespace nupea
+
+#endif // NUPEA_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for the PnR report utilities (placement map and per-domain
+ * criticality summary).
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/pnr.h"
+#include "compiler/report.h"
+#include "test_support.h"
+
+namespace nupea
+{
+namespace
+{
+
+TEST(Report, MapShowsCriticalLoadNearMemory)
+{
+    auto k = test::buildPointerChase(64, 8);
+    Topology topo = Topology::makeMonaco(8, 8);
+    PnrResult pnr = placeAndRoute(k.graph, topo);
+    ASSERT_TRUE(pnr.success);
+
+    std::string map = placementMap(k.graph, topo, pnr.placement);
+    // One line per fabric row plus the legend.
+    int newlines = 0;
+    for (char ch : map)
+        newlines += (ch == '\n');
+    EXPECT_EQ(newlines, topo.rows() + 1);
+    EXPECT_NE(map.find('C'), std::string::npos); // critical load shown
+    EXPECT_NE(map.find("LS row"), std::string::npos);
+
+    // The 'C' must be in the leftmost (nearest-memory) column block:
+    // find its column within its row.
+    std::size_t pos = map.find('C');
+    std::size_t line_start = map.rfind('\n', pos);
+    line_start = line_start == std::string::npos ? 0 : line_start + 1;
+    auto col = static_cast<int>((pos - line_start) / 2);
+    EXPECT_LE(col, 2) << "critical load not in D0 columns";
+}
+
+TEST(Report, MapMarksEmptyTiles)
+{
+    Builder b;
+    b.sink(b.add(b.source(1), b.source(2)));
+    Graph g = b.takeGraph();
+    Topology topo = Topology::makeMonaco(8, 8);
+    PnrResult pnr = placeAndRoute(g, topo);
+    ASSERT_TRUE(pnr.success);
+    std::string map = placementMap(g, topo, pnr.placement);
+    EXPECT_NE(map.find('.'), std::string::npos);
+}
+
+TEST(Report, DomainSummaryListsClasses)
+{
+    auto k = test::buildStreamJoin(64, 8, 128, 8);
+    Topology topo = Topology::makeMonaco(12, 12);
+    PnrResult pnr = placeAndRoute(k.graph, topo);
+    ASSERT_TRUE(pnr.success);
+    std::string summary = domainSummary(k.graph, topo, pnr.placement);
+    EXPECT_NE(summary.find("critical:"), std::string::npos);
+    EXPECT_NE(summary.find("D0="), std::string::npos);
+}
+
+TEST(Report, DomainSummarySkipsEmptyClasses)
+{
+    // No memory ops at all: summary is empty.
+    Builder b;
+    b.sink(b.add(b.source(1), b.source(2)));
+    Graph g = b.takeGraph();
+    Topology topo = Topology::makeMonaco(8, 8);
+    PnrResult pnr = placeAndRoute(g, topo);
+    ASSERT_TRUE(pnr.success);
+    EXPECT_TRUE(domainSummary(g, topo, pnr.placement).empty());
+}
+
+} // namespace
+} // namespace nupea

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Reproduction guardrails: small end-to-end checks that the paper's
+ * headline results hold in this implementation. These intentionally
+ * use loose thresholds — they protect the *direction and rough
+ * magnitude* of each claim against regressions, not exact numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+
+namespace nupea
+{
+namespace
+{
+
+using namespace nupea::bench;
+
+double
+cyclesOf(const CompiledWorkload &cw, MemModel model, int latency)
+{
+    return static_cast<double>(
+        runCompiled(cw, primaryConfig(model, latency)).systemCycles);
+}
+
+TEST(Reproduction, Fig6cNupeaRecoversUpea0OnSpmspv)
+{
+    Topology topo = Topology::makeMonaco(12, 12);
+    CompiledWorkload cw =
+        compileWorkload("spmspv", topo, CompileOptions{});
+    double upea0 = cyclesOf(cw, MemModel::Upea, 0);
+    double upea2 = cyclesOf(cw, MemModel::Upea, 2);
+    double nupea = cyclesOf(cw, MemModel::Monaco, 0);
+    // Paper: UPEA2 ~1.32x UPEA0; NUPEA ~1.01x UPEA0.
+    EXPECT_GT(upea2 / upea0, 1.15);
+    EXPECT_LT(nupea / upea0, 1.05);
+}
+
+TEST(Reproduction, Fig11MonacoBeatsUpeaAndNuma)
+{
+    Topology topo = Topology::makeMonaco(12, 12);
+    std::vector<double> upea_r, numa_r;
+    for (const char *name : {"spmv", "spmspm", "tc", "jacobi2d"}) {
+        CompiledWorkload cw =
+            compileWorkload(name, topo, CompileOptions{});
+        double monaco = cyclesOf(cw, MemModel::Monaco, 0);
+        upea_r.push_back(cyclesOf(cw, MemModel::Upea, 2) / monaco);
+        numa_r.push_back(cyclesOf(cw, MemModel::NumaUpea, 2) / monaco);
+    }
+    // Paper: avg 28% over UPEA, 20% over NUMA-UPEA.
+    EXPECT_GT(geomean(upea_r), 1.10);
+    EXPECT_GT(geomean(numa_r), 1.08);
+    // NUMA recovers some performance relative to plain UPEA.
+    EXPECT_LE(geomean(numa_r), geomean(upea_r) + 1e-9);
+}
+
+TEST(Reproduction, Fig12CriticalityAwarenessHelpsSparse)
+{
+    Topology topo = Topology::makeMonaco(12, 12);
+    for (const char *name : {"spmspv", "spmspm"}) {
+        auto time_mode = [&](PlaceMode mode) {
+            CompileOptions copts;
+            copts.mode = mode;
+            CompiledWorkload cw = compileWorkload(name, topo, copts);
+            return cyclesOf(cw, MemModel::Monaco, 0);
+        };
+        double unaware = time_mode(PlaceMode::DomainUnaware);
+        double domain = time_mode(PlaceMode::DomainAware);
+        double effcc = time_mode(PlaceMode::CriticalityAware);
+        // Paper: sparse intersection kernels benefit most from
+        // criticality; effcc beats both other modes.
+        EXPECT_LT(effcc, unaware) << name;
+        EXPECT_LT(effcc, domain) << name;
+    }
+}
+
+TEST(Reproduction, Fig14UpeaSweepIsMonotone)
+{
+    Topology topo = Topology::makeMonaco(12, 12);
+    CompiledWorkload cw =
+        compileWorkload("spmspm", topo, CompileOptions{});
+    double prev = 0.0;
+    for (int n = 0; n <= 4; ++n) {
+        double t = cyclesOf(cw, MemModel::Upea, n);
+        EXPECT_GT(t, prev) << "latency " << n;
+        prev = t;
+    }
+}
+
+TEST(Reproduction, Fig17ClusteredNeedsLongerPathsAt2Tracks)
+{
+    // At 24x24 with 2 tracks, Clustered-Single requires a longer
+    // max path delay than Monaco (paper Fig. 17a).
+    CompileOptions copts;
+    copts.parallelism = -1;
+    Topology monaco = Topology::makeMonaco(24, 24, 2);
+    Topology cs = Topology::makeClusteredSingle(24, 24, 2);
+    CompiledWorkload cw_m = compileWorkload("spmspv", monaco, copts);
+    CompiledWorkload cw_c = compileWorkload("spmspv", cs, copts);
+    EXPECT_LT(cw_m.pnr.timing.maxPathDelay,
+              cw_c.pnr.timing.maxPathDelay);
+}
+
+} // namespace
+} // namespace nupea

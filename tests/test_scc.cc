@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the shared SCC decomposition (iterative Tarjan).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/scc.h"
+
+namespace nupea
+{
+namespace
+{
+
+using Adj = std::vector<std::vector<std::uint32_t>>;
+
+TEST(Scc, EmptyGraph)
+{
+    SccResult r = computeScc({});
+    EXPECT_EQ(r.numComponents(), 0u);
+}
+
+TEST(Scc, SingletonsInDag)
+{
+    // 0 -> 1 -> 2: three acyclic components.
+    Adj adj{{1}, {2}, {}};
+    SccResult r = computeScc(adj);
+    EXPECT_EQ(r.numComponents(), 3u);
+    for (int v = 0; v < 3; ++v)
+        EXPECT_FALSE(r.cyclic[r.component[static_cast<std::size_t>(v)]]);
+    EXPECT_NE(r.component[0], r.component[1]);
+    EXPECT_NE(r.component[1], r.component[2]);
+}
+
+TEST(Scc, SimpleCycle)
+{
+    // 0 -> 1 -> 2 -> 0.
+    Adj adj{{1}, {2}, {0}};
+    SccResult r = computeScc(adj);
+    EXPECT_EQ(r.numComponents(), 1u);
+    EXPECT_TRUE(r.cyclic[0]);
+    EXPECT_EQ(r.size[0], 3u);
+}
+
+TEST(Scc, SelfLoopIsCyclic)
+{
+    Adj adj{{0}, {}};
+    SccResult r = computeScc(adj);
+    EXPECT_EQ(r.numComponents(), 2u);
+    EXPECT_TRUE(r.cyclic[r.component[0]]);
+    EXPECT_FALSE(r.cyclic[r.component[1]]);
+}
+
+TEST(Scc, TwoCyclesWithBridge)
+{
+    // {0,1} cycle -> bridge 2 -> {3,4} cycle.
+    Adj adj{{1}, {0, 2}, {3}, {4}, {3}};
+    SccResult r = computeScc(adj);
+    EXPECT_EQ(r.numComponents(), 3u);
+    EXPECT_EQ(r.component[0], r.component[1]);
+    EXPECT_EQ(r.component[3], r.component[4]);
+    EXPECT_NE(r.component[0], r.component[3]);
+    EXPECT_TRUE(r.cyclic[r.component[0]]);
+    EXPECT_FALSE(r.cyclic[r.component[2]]);
+    EXPECT_TRUE(r.cyclic[r.component[3]]);
+}
+
+TEST(Scc, DisconnectedComponents)
+{
+    Adj adj{{1}, {0}, {3}, {2}, {}};
+    SccResult r = computeScc(adj);
+    EXPECT_EQ(r.numComponents(), 3u);
+    EXPECT_EQ(r.size[r.component[0]], 2u);
+    EXPECT_EQ(r.size[r.component[2]], 2u);
+    EXPECT_EQ(r.size[r.component[4]], 1u);
+}
+
+TEST(Scc, DeepChainDoesNotOverflow)
+{
+    // 50k-node chain exercises the iterative DFS (a recursive Tarjan
+    // would blow the stack).
+    const std::uint32_t n = 50000;
+    Adj adj(n);
+    for (std::uint32_t v = 0; v + 1 < n; ++v)
+        adj[v].push_back(v + 1);
+    SccResult r = computeScc(adj);
+    EXPECT_EQ(r.numComponents(), n);
+}
+
+TEST(Scc, LargeRing)
+{
+    const std::uint32_t n = 10000;
+    Adj adj(n);
+    for (std::uint32_t v = 0; v < n; ++v)
+        adj[v].push_back((v + 1) % n);
+    SccResult r = computeScc(adj);
+    EXPECT_EQ(r.numComponents(), 1u);
+    EXPECT_TRUE(r.cyclic[0]);
+    EXPECT_EQ(r.size[0], n);
+}
+
+} // namespace
+} // namespace nupea

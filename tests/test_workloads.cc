@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Workload correctness: every Table 1 kernel is (a) executed by the
+ * untimed interpreter and (b) compiled with full PnR and run on the
+ * cycle-level Monaco machine; both must reproduce the host reference
+ * memory image exactly, at parallelism 1 and at a higher degree.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/pnr.h"
+#include "dfg/interp.h"
+#include "sim/machine.h"
+#include "workloads/workload.h"
+
+namespace nupea
+{
+namespace
+{
+
+constexpr std::size_t kMemBytes = 4 * 1024 * 1024;
+
+class WorkloadInterp : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadInterp, MatchesHostReferenceAtP1)
+{
+    auto wl = makeWorkload(GetParam());
+    BackingStore store(kMemBytes);
+    wl->init(store);
+    Graph g = wl->build(1);
+    g.validateOrDie();
+
+    Interp interp(g, store.raw());
+    auto r = interp.run();
+    ASSERT_TRUE(r.clean) << (r.problems.empty() ? "" : r.problems[0]);
+
+    std::string why;
+    EXPECT_TRUE(wl->verify(store, &why)) << why;
+}
+
+TEST_P(WorkloadInterp, MatchesHostReferenceAtP4)
+{
+    auto wl = makeWorkload(GetParam());
+    BackingStore store(kMemBytes);
+    wl->init(store);
+    Graph g = wl->build(4);
+    g.validateOrDie();
+
+    Interp interp(g, store.raw());
+    auto r = interp.run();
+    ASSERT_TRUE(r.clean) << (r.problems.empty() ? "" : r.problems[0]);
+
+    std::string why;
+    EXPECT_TRUE(wl->verify(store, &why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadInterp,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+class WorkloadMachine : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(WorkloadMachine, SimulatedRunMatchesHostReference)
+{
+    auto wl = makeWorkload(GetParam());
+    BackingStore store(kMemBytes);
+    wl->init(store);
+
+    // Modest parallelism keeps the PnR fast in tests.
+    int p = std::min(4, std::max(1, wl->preferredParallelism()));
+    Graph g = wl->build(p);
+    g.validateOrDie();
+
+    Topology topo = Topology::makeMonaco(12, 12);
+    PnrOptions popts;
+    popts.place.iterationsPerNode = 60; // test-speed annealing
+    PnrResult pnr = placeAndRoute(g, topo, popts);
+    if (!pnr.success && p > 1) {
+        p = 1;
+        g = wl->build(1);
+        pnr = placeAndRoute(g, topo, popts);
+    }
+    ASSERT_TRUE(pnr.success) << pnr.failureReason;
+
+    MachineConfig cfg;
+    cfg.memsys.memBytes = store.size();
+    cfg.clockDivider = pnr.timing.clockDivider;
+    Machine machine(g, pnr.placement, topo, cfg, store);
+    RunResult r = machine.run();
+    ASSERT_TRUE(r.finished) << r.problem;
+    ASSERT_TRUE(r.clean) << r.problem;
+    EXPECT_GT(r.fabricCycles, 0u);
+
+    std::string why;
+    EXPECT_TRUE(wl->verify(store, &why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadMachine,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadRegistry, ThirteenWorkloads)
+{
+    EXPECT_EQ(workloadNames().size(), 13u);
+    for (const auto &name : workloadNames()) {
+        auto wl = makeWorkload(name);
+        EXPECT_EQ(wl->name(), name);
+        EXPECT_FALSE(wl->description().empty());
+        EXPECT_FALSE(wl->paperInput().empty());
+        EXPECT_FALSE(wl->scaledInput().empty());
+    }
+}
+
+TEST(WorkloadRegistry, UnknownNameIsFatal)
+{
+    EXPECT_THROW(makeWorkload("nosuch"), FatalError);
+}
+
+TEST(WorkloadRegistry, InitIsDeterministic)
+{
+    // Two inits must produce identical memory images so a graph can
+    // be compiled once and re-run on fresh stores.
+    auto wl1 = makeWorkload("spmspv");
+    auto wl2 = makeWorkload("spmspv");
+    BackingStore s1(kMemBytes), s2(kMemBytes);
+    wl1->init(s1);
+    wl2->init(s2);
+    EXPECT_EQ(s1.raw(), s2.raw());
+}
+
+TEST(WorkloadRegistry, SeedChangesData)
+{
+    auto wl1 = makeWorkload("spmv", 1);
+    auto wl2 = makeWorkload("spmv", 2);
+    BackingStore s1(kMemBytes), s2(kMemBytes);
+    wl1->init(s1);
+    wl2->init(s2);
+    EXPECT_NE(s1.raw(), s2.raw());
+}
+
+TEST(WorkloadCriticality, SparseKernelsHaveCriticalLoads)
+{
+    // The paper's core claim: the stream-join kernels carry
+    // class (a) loads, the dense kernels mostly do not.
+    for (const char *name : {"spmspv", "spmspm", "spadd", "tc",
+                             "mergesort"}) {
+        auto wl = makeWorkload(name);
+        BackingStore store(kMemBytes);
+        wl->init(store);
+        Graph g = wl->build(1);
+        auto stats = analyzeCriticality(g);
+        EXPECT_GT(stats.critical, 0u) << name;
+    }
+    // dmv's loads are inner-loop only.
+    auto wl = makeWorkload("dmv");
+    BackingStore store(kMemBytes);
+    wl->init(store);
+    Graph g = wl->build(1);
+    auto stats = analyzeCriticality(g);
+    EXPECT_EQ(stats.critical, 0u);
+    EXPECT_GT(stats.innerLoop, 0u);
+}
+
+TEST(WorkloadCriticality, StencilOrderingCreatesRecurrence)
+{
+    // jacobi2d/fft: the inter-step barrier token puts memory
+    // instructions on a recurrence (paper Sec. 7.1).
+    for (const char *name : {"jacobi2d", "heat3d", "fft"}) {
+        auto wl = makeWorkload(name);
+        BackingStore store(kMemBytes);
+        wl->init(store);
+        Graph g = wl->build(1);
+        auto stats = analyzeCriticality(g);
+        EXPECT_GT(stats.critical, 0u) << name;
+    }
+}
+
+} // namespace
+} // namespace nupea
