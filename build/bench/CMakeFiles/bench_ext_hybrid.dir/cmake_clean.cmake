@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hybrid.dir/bench_ext_hybrid.cc.o"
+  "CMakeFiles/bench_ext_hybrid.dir/bench_ext_hybrid.cc.o.d"
+  "bench_ext_hybrid"
+  "bench_ext_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

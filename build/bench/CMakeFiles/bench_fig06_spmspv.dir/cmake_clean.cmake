@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_spmspv.dir/bench_fig06_spmspv.cc.o"
+  "CMakeFiles/bench_fig06_spmspv.dir/bench_fig06_spmspv.cc.o.d"
+  "bench_fig06_spmspv"
+  "bench_fig06_spmspv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_spmspv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

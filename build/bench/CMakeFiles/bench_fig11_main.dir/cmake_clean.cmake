@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_main.dir/bench_fig11_main.cc.o"
+  "CMakeFiles/bench_fig11_main.dir/bench_fig11_main.cc.o.d"
+  "bench_fig11_main"
+  "bench_fig11_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_pnr.dir/bench_fig12_pnr.cc.o"
+  "CMakeFiles/bench_fig12_pnr.dir/bench_fig12_pnr.cc.o.d"
+  "bench_fig12_pnr"
+  "bench_fig12_pnr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pnr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

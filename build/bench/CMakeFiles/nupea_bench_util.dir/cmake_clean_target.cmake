@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libnupea_bench_util.a"
+)

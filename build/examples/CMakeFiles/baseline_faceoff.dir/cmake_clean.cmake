@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_faceoff.dir/baseline_faceoff.cc.o"
+  "CMakeFiles/baseline_faceoff.dir/baseline_faceoff.cc.o.d"
+  "baseline_faceoff"
+  "baseline_faceoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_faceoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmspv_nupea_tour.dir/spmspv_nupea_tour.cc.o"
+  "CMakeFiles/spmspv_nupea_tour.dir/spmspv_nupea_tour.cc.o.d"
+  "spmspv_nupea_tour"
+  "spmspv_nupea_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmspv_nupea_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

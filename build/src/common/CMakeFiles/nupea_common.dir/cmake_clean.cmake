@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nupea_common.dir/scc.cc.o"
+  "CMakeFiles/nupea_common.dir/scc.cc.o.d"
+  "CMakeFiles/nupea_common.dir/stats.cc.o"
+  "CMakeFiles/nupea_common.dir/stats.cc.o.d"
+  "CMakeFiles/nupea_common.dir/types.cc.o"
+  "CMakeFiles/nupea_common.dir/types.cc.o.d"
+  "libnupea_common.a"
+  "libnupea_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nupea_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

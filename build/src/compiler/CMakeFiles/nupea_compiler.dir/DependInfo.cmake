@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/criticality.cc" "src/compiler/CMakeFiles/nupea_compiler.dir/criticality.cc.o" "gcc" "src/compiler/CMakeFiles/nupea_compiler.dir/criticality.cc.o.d"
+  "/root/repo/src/compiler/placement.cc" "src/compiler/CMakeFiles/nupea_compiler.dir/placement.cc.o" "gcc" "src/compiler/CMakeFiles/nupea_compiler.dir/placement.cc.o.d"
+  "/root/repo/src/compiler/pnr.cc" "src/compiler/CMakeFiles/nupea_compiler.dir/pnr.cc.o" "gcc" "src/compiler/CMakeFiles/nupea_compiler.dir/pnr.cc.o.d"
+  "/root/repo/src/compiler/report.cc" "src/compiler/CMakeFiles/nupea_compiler.dir/report.cc.o" "gcc" "src/compiler/CMakeFiles/nupea_compiler.dir/report.cc.o.d"
+  "/root/repo/src/compiler/routing.cc" "src/compiler/CMakeFiles/nupea_compiler.dir/routing.cc.o" "gcc" "src/compiler/CMakeFiles/nupea_compiler.dir/routing.cc.o.d"
+  "/root/repo/src/compiler/timing.cc" "src/compiler/CMakeFiles/nupea_compiler.dir/timing.cc.o" "gcc" "src/compiler/CMakeFiles/nupea_compiler.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nupea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/nupea_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/nupea_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

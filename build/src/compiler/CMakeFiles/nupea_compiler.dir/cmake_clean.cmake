@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nupea_compiler.dir/criticality.cc.o"
+  "CMakeFiles/nupea_compiler.dir/criticality.cc.o.d"
+  "CMakeFiles/nupea_compiler.dir/placement.cc.o"
+  "CMakeFiles/nupea_compiler.dir/placement.cc.o.d"
+  "CMakeFiles/nupea_compiler.dir/pnr.cc.o"
+  "CMakeFiles/nupea_compiler.dir/pnr.cc.o.d"
+  "CMakeFiles/nupea_compiler.dir/report.cc.o"
+  "CMakeFiles/nupea_compiler.dir/report.cc.o.d"
+  "CMakeFiles/nupea_compiler.dir/routing.cc.o"
+  "CMakeFiles/nupea_compiler.dir/routing.cc.o.d"
+  "CMakeFiles/nupea_compiler.dir/timing.cc.o"
+  "CMakeFiles/nupea_compiler.dir/timing.cc.o.d"
+  "libnupea_compiler.a"
+  "libnupea_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nupea_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

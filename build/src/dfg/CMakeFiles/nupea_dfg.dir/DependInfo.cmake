@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/builder.cc" "src/dfg/CMakeFiles/nupea_dfg.dir/builder.cc.o" "gcc" "src/dfg/CMakeFiles/nupea_dfg.dir/builder.cc.o.d"
+  "/root/repo/src/dfg/graph.cc" "src/dfg/CMakeFiles/nupea_dfg.dir/graph.cc.o" "gcc" "src/dfg/CMakeFiles/nupea_dfg.dir/graph.cc.o.d"
+  "/root/repo/src/dfg/interp.cc" "src/dfg/CMakeFiles/nupea_dfg.dir/interp.cc.o" "gcc" "src/dfg/CMakeFiles/nupea_dfg.dir/interp.cc.o.d"
+  "/root/repo/src/dfg/opcode.cc" "src/dfg/CMakeFiles/nupea_dfg.dir/opcode.cc.o" "gcc" "src/dfg/CMakeFiles/nupea_dfg.dir/opcode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nupea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nupea_dfg.dir/builder.cc.o"
+  "CMakeFiles/nupea_dfg.dir/builder.cc.o.d"
+  "CMakeFiles/nupea_dfg.dir/graph.cc.o"
+  "CMakeFiles/nupea_dfg.dir/graph.cc.o.d"
+  "CMakeFiles/nupea_dfg.dir/interp.cc.o"
+  "CMakeFiles/nupea_dfg.dir/interp.cc.o.d"
+  "CMakeFiles/nupea_dfg.dir/opcode.cc.o"
+  "CMakeFiles/nupea_dfg.dir/opcode.cc.o.d"
+  "libnupea_dfg.a"
+  "libnupea_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nupea_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nupea_fabric.dir/topology.cc.o"
+  "CMakeFiles/nupea_fabric.dir/topology.cc.o.d"
+  "libnupea_fabric.a"
+  "libnupea_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nupea_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

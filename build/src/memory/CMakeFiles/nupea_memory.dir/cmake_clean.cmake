@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nupea_memory.dir/cache.cc.o"
+  "CMakeFiles/nupea_memory.dir/cache.cc.o.d"
+  "CMakeFiles/nupea_memory.dir/memsys.cc.o"
+  "CMakeFiles/nupea_memory.dir/memsys.cc.o.d"
+  "libnupea_memory.a"
+  "libnupea_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nupea_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

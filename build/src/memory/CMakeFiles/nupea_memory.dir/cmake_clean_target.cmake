@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnupea_memory.a"
+)

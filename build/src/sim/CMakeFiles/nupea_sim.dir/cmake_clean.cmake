@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nupea_sim.dir/machine.cc.o"
+  "CMakeFiles/nupea_sim.dir/machine.cc.o.d"
+  "CMakeFiles/nupea_sim.dir/mem_model.cc.o"
+  "CMakeFiles/nupea_sim.dir/mem_model.cc.o.d"
+  "libnupea_sim.a"
+  "libnupea_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nupea_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

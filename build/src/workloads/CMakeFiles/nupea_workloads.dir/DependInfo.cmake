@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/data_gen.cc" "src/workloads/CMakeFiles/nupea_workloads.dir/data_gen.cc.o" "gcc" "src/workloads/CMakeFiles/nupea_workloads.dir/data_gen.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/nupea_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/nupea_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/wl_dense.cc" "src/workloads/CMakeFiles/nupea_workloads.dir/wl_dense.cc.o" "gcc" "src/workloads/CMakeFiles/nupea_workloads.dir/wl_dense.cc.o.d"
+  "/root/repo/src/workloads/wl_dsp_ml.cc" "src/workloads/CMakeFiles/nupea_workloads.dir/wl_dsp_ml.cc.o" "gcc" "src/workloads/CMakeFiles/nupea_workloads.dir/wl_dsp_ml.cc.o.d"
+  "/root/repo/src/workloads/wl_graph_sort.cc" "src/workloads/CMakeFiles/nupea_workloads.dir/wl_graph_sort.cc.o" "gcc" "src/workloads/CMakeFiles/nupea_workloads.dir/wl_graph_sort.cc.o.d"
+  "/root/repo/src/workloads/wl_sparse.cc" "src/workloads/CMakeFiles/nupea_workloads.dir/wl_sparse.cc.o" "gcc" "src/workloads/CMakeFiles/nupea_workloads.dir/wl_sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nupea_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/nupea_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/nupea_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nupea_workloads.dir/data_gen.cc.o"
+  "CMakeFiles/nupea_workloads.dir/data_gen.cc.o.d"
+  "CMakeFiles/nupea_workloads.dir/registry.cc.o"
+  "CMakeFiles/nupea_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/nupea_workloads.dir/wl_dense.cc.o"
+  "CMakeFiles/nupea_workloads.dir/wl_dense.cc.o.d"
+  "CMakeFiles/nupea_workloads.dir/wl_dsp_ml.cc.o"
+  "CMakeFiles/nupea_workloads.dir/wl_dsp_ml.cc.o.d"
+  "CMakeFiles/nupea_workloads.dir/wl_graph_sort.cc.o"
+  "CMakeFiles/nupea_workloads.dir/wl_graph_sort.cc.o.d"
+  "CMakeFiles/nupea_workloads.dir/wl_sparse.cc.o"
+  "CMakeFiles/nupea_workloads.dir/wl_sparse.cc.o.d"
+  "libnupea_workloads.a"
+  "libnupea_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nupea_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

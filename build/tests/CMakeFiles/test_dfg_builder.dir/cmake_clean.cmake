@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfg_builder.dir/test_dfg_builder.cc.o"
+  "CMakeFiles/test_dfg_builder.dir/test_dfg_builder.cc.o.d"
+  "test_dfg_builder"
+  "test_dfg_builder.pdb"
+  "test_dfg_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfg_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

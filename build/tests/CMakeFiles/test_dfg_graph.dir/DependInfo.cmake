@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dfg_graph.cc" "tests/CMakeFiles/test_dfg_graph.dir/test_dfg_graph.cc.o" "gcc" "tests/CMakeFiles/test_dfg_graph.dir/test_dfg_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nupea_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/nupea_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/nupea_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nupea_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/nupea_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/nupea_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nupea_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

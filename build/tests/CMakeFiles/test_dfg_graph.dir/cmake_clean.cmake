@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfg_graph.dir/test_dfg_graph.cc.o"
+  "CMakeFiles/test_dfg_graph.dir/test_dfg_graph.cc.o.d"
+  "test_dfg_graph"
+  "test_dfg_graph.pdb"
+  "test_dfg_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

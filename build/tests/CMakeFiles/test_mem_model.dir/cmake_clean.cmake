@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem_model.dir/test_mem_model.cc.o"
+  "CMakeFiles/test_mem_model.dir/test_mem_model.cc.o.d"
+  "test_mem_model"
+  "test_mem_model.pdb"
+  "test_mem_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
