@@ -11,11 +11,14 @@
  *  - shared-cache capacity (the 256 KiB memory-side cache, Sec. 6);
  *  - the fabric clock divider (Sec. 4.2's ratio-synchronous crossing:
  *    a slower fabric sees relatively faster memory).
+ *
+ * All five sweeps share one parallel batch (--jobs N /
+ * NUPEA_BENCH_JOBS); results are identical for any job count.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 
 namespace
 {
@@ -23,80 +26,110 @@ namespace
 using namespace nupea;
 using namespace nupea::bench;
 
-void
-sweepD0Width()
+constexpr int kD0Widths[] = {1, 2, 3, 4, 6};
+constexpr int kFifoDepths[] = {1, 2, 4, 8};
+constexpr int kOutstanding[] = {1, 2, 4, 8};
+constexpr std::size_t kCacheKib[] = {8, 32, 256};
+constexpr int kDividers[] = {1, 2, 3, 4};
+
+} // namespace
+
+int
+main(int argc, char **argv)
 {
+    SweepRunner runner(parseSweepArgs(argc, argv));
+    Topology monaco = Topology::makeMonaco(12, 12);
+
+    // Compile phase: 5 D0-width variants of spmspv plus one compile
+    // per single-knob sweep, each exactly once.
+    std::vector<CompileSpec> cspecs;
+    for (int d0 : kD0Widths) {
+        cspecs.push_back({"spmspv", Topology::makeMonaco(12, 12, 3, d0),
+                          CompileOptions{}});
+    }
+    cspecs.push_back({"spmspm", monaco, CompileOptions{}}); // FIFO
+    cspecs.push_back({"dmv", monaco, CompileOptions{}});    // outst
+    cspecs.push_back({"spmv", monaco, CompileOptions{}});   // cache
+    cspecs.push_back({"spmspv", monaco, CompileOptions{}}); // divider
+    std::vector<CompiledWorkload> compiled = compileAll(runner, cspecs);
+
+    const CompiledWorkload *d0_cws = &compiled[0];
+    const CompiledWorkload &fifo_cw = compiled[std::size(kD0Widths)];
+    const CompiledWorkload &outst_cw = compiled[std::size(kD0Widths) + 1];
+    const CompiledWorkload &cache_cw = compiled[std::size(kD0Widths) + 2];
+    const CompiledWorkload &div_cw = compiled[std::size(kD0Widths) + 3];
+
+    // Run phase: one flat batch covering every ablation point.
+    std::vector<RunSpec> rspecs;
+    for (std::size_t i = 0; i < std::size(kD0Widths); ++i) {
+        rspecs.push_back({&d0_cws[i], primaryConfig(MemModel::Monaco, 0),
+                          formatMessage("d0=", kD0Widths[i])});
+    }
+    for (int depth : kFifoDepths) {
+        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
+        cfg.fifoDepth = depth;
+        rspecs.push_back({&fifo_cw, cfg,
+                          formatMessage("fifo=", depth)});
+    }
+    for (int outst : kOutstanding) {
+        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
+        cfg.maxOutstanding = outst;
+        rspecs.push_back({&outst_cw, cfg,
+                          formatMessage("outst=", outst)});
+    }
+    for (std::size_t kib : kCacheKib) {
+        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
+        cfg.memsys.cache.sizeBytes = kib * 1024;
+        rspecs.push_back({&cache_cw, cfg,
+                          formatMessage("cache=", kib, "KiB")});
+    }
+    for (int div : kDividers) {
+        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
+        cfg.clockDivider = div;
+        rspecs.push_back({&div_cw, cfg, formatMessage("div=", div)});
+    }
+    SweepResult sweep = runSweep(runner, rspecs);
+    std::size_t idx = 0;
+
+    std::printf("Design-space ablations (all runs functionally "
+                "verified)\n\n");
+
     std::printf("D0 width (direct-port LS columns), spmspv on "
                 "monaco-12x12:\n");
     printRow("d0 cols", {"ports", "sys-cycles", "avg-lat"}, 10, 12);
-    for (int d0 : {1, 2, 3, 4, 6}) {
-        Topology topo = Topology::makeMonaco(12, 12, 3, d0);
-        CompiledWorkload cw =
-            compileWorkload("spmspv", topo, CompileOptions{});
-        BenchRun r = runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
-        printRow(std::to_string(d0),
-                 {std::to_string(topo.memPorts()),
+    for (std::size_t i = 0; i < std::size(kD0Widths); ++i) {
+        const BenchRun &r = sweep.points[idx++].run;
+        printRow(std::to_string(kD0Widths[i]),
+                 {std::to_string(d0_cws[i].topo.memPorts()),
                   std::to_string(r.systemCycles),
                   fmt(r.avgMemLatency, 2)},
                  10, 12);
     }
     std::printf("\n");
-}
 
-void
-sweepFifoDepth()
-{
     std::printf("token FIFO depth, spmspm on monaco-12x12:\n");
     printRow("depth", {"sys-cycles"}, 10, 12);
-    Topology topo = Topology::makeMonaco(12, 12);
-    CompiledWorkload cw =
-        compileWorkload("spmspm", topo, CompileOptions{});
-    for (int depth : {1, 2, 4, 8}) {
-        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
-        cfg.fifoDepth = depth;
-        BenchRun r = runCompiled(cw, cfg);
+    for (int depth : kFifoDepths) {
+        const BenchRun &r = sweep.points[idx++].run;
         printRow(std::to_string(depth),
                  {std::to_string(r.systemCycles)}, 10, 12);
     }
     std::printf("\n");
-}
 
-void
-sweepOutstanding()
-{
     std::printf("max outstanding requests per LS PE, dmv on "
                 "monaco-12x12:\n");
     printRow("outst", {"sys-cycles"}, 10, 12);
-    Topology topo = Topology::makeMonaco(12, 12);
-    CompiledWorkload cw = compileWorkload("dmv", topo, CompileOptions{});
-    for (int outst : {1, 2, 4, 8}) {
-        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
-        cfg.maxOutstanding = outst;
-        BenchRun r = runCompiled(cw, cfg);
+    for (int outst : kOutstanding) {
+        const BenchRun &r = sweep.points[idx++].run;
         printRow(std::to_string(outst),
                  {std::to_string(r.systemCycles)}, 10, 12);
     }
     std::printf("\n");
-}
 
-void
-sweepCacheSize()
-{
     std::printf("shared-cache capacity, spmv on monaco-12x12:\n");
     printRow("KiB", {"sys-cycles", "hit-rate"}, 10, 12);
-    Topology topo = Topology::makeMonaco(12, 12);
-    CompiledWorkload cw = compileWorkload("spmv", topo,
-                                          CompileOptions{});
-    for (std::size_t kib : {8u, 32u, 256u}) {
-        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
-        cfg.memsys.cache.sizeBytes = kib * 1024;
-
-        // Run manually to read cache stats.
-        BackingStore store(cfg.memsys.memBytes);
-        cw.workload->init(store);
-        Machine machine(cw.graph, cw.pnr.placement, cw.topo, cfg,
-                        store);
-        RunResult r = machine.run();
+    for (std::size_t kib : kCacheKib) {
+        const BenchRun &r = sweep.points[idx++].run;
         double hits =
             static_cast<double>(r.stats.counterValue("mem.cache_hits"));
         double total =
@@ -108,40 +141,18 @@ sweepCacheSize()
                  10, 12);
     }
     std::printf("\n");
-}
 
-void
-sweepDivider()
-{
     std::printf("fabric clock divider, spmspv on monaco-12x12 "
                 "(system cycles; memory runs on the system clock):\n");
     printRow("divider", {"fab-cycles", "sys-cycles"}, 10, 12);
-    Topology topo = Topology::makeMonaco(12, 12);
-    CompiledWorkload cw =
-        compileWorkload("spmspv", topo, CompileOptions{});
-    for (int div : {1, 2, 3, 4}) {
-        MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
-        cfg.clockDivider = div;
-        BenchRun r = runCompiled(cw, cfg);
+    for (int div : kDividers) {
+        const BenchRun &r = sweep.points[idx++].run;
         printRow(std::to_string(div),
                  {std::to_string(r.fabricCycles),
                   std::to_string(r.systemCycles)},
                  10, 12);
     }
     std::printf("\n");
-}
-
-} // namespace
-
-int
-main()
-{
-    std::printf("Design-space ablations (all runs functionally "
-                "verified)\n\n");
-    sweepD0Width();
-    sweepFifoDepth();
-    sweepOutstanding();
-    sweepCacheSize();
-    sweepDivider();
+    printSweepFooter(sweep);
     return 0;
 }

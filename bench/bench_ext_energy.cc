@@ -6,19 +6,38 @@
  * also cut data-movement energy. This bench reports per-workload
  * energy (abstract units, split compute/network/memory) and
  * energy-delay product for Monaco versus the practical UPEA2 SDA.
+ *
+ * Sweep points run concurrently (--jobs N / NUPEA_BENCH_JOBS);
+ * results are identical for any job count.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nupea;
     using namespace nupea::bench;
 
+    SweepRunner runner(parseSweepArgs(argc, argv));
     Topology topo = Topology::makeMonaco(12, 12);
+
+    std::vector<CompileSpec> cspecs;
+    for (const auto &name : workloadNames())
+        cspecs.push_back({name, topo, CompileOptions{}});
+    std::vector<CompiledWorkload> compiled = compileAll(runner, cspecs);
+
+    std::vector<RunSpec> rspecs;
+    for (const CompiledWorkload &cw : compiled) {
+        const std::string &app = cw.workload->name();
+        rspecs.push_back(
+            {&cw, primaryConfig(MemModel::Monaco, 0), app + "/monaco"});
+        rspecs.push_back(
+            {&cw, primaryConfig(MemModel::Upea, 2), app + "/upea2"});
+    }
+    SweepResult sweep = runSweep(runner, rspecs);
 
     std::printf("Extension: data-movement energy, Monaco vs UPEA2 "
                 "(abstract units)\n\n");
@@ -26,34 +45,21 @@ main()
              {"E(Monaco)", "E(UPEA2)", "E-ratio", "EDP-ratio"}, 10, 12);
 
     std::vector<double> e_ratios, edp_ratios;
-    for (const auto &name : workloadNames()) {
-        CompiledWorkload cw = compileWorkload(name, topo,
-                                              CompileOptions{});
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+        const BenchRun &monaco = sweep.points[2 * i].run;
+        const BenchRun &upea = sweep.points[2 * i + 1].run;
+        auto monaco_cycles = static_cast<double>(monaco.systemCycles);
+        auto upea_cycles = static_cast<double>(upea.systemCycles);
 
-        auto run_energy = [&](MemModel model, int lat, double &cycles) {
-            BackingStore store(MemSysConfig{}.memBytes);
-            cw.workload->init(store);
-            MachineConfig cfg = primaryConfig(model, lat);
-            Machine machine(cw.graph, cw.pnr.placement, cw.topo, cfg,
-                            store);
-            RunResult r = machine.run();
-            cycles = static_cast<double>(r.systemCycles);
-            return r.energy;
-        };
-
-        double monaco_cycles = 0, upea_cycles = 0;
-        EnergyBreakdown monaco =
-            run_energy(MemModel::Monaco, 0, monaco_cycles);
-        EnergyBreakdown upea =
-            run_energy(MemModel::Upea, 2, upea_cycles);
-
-        double e_ratio = upea.total() / monaco.total();
-        double edp_ratio = (upea.total() * upea_cycles) /
-                           (monaco.total() * monaco_cycles);
+        double e_ratio = upea.energy.total() / monaco.energy.total();
+        double edp_ratio = (upea.energy.total() * upea_cycles) /
+                           (monaco.energy.total() * monaco_cycles);
         e_ratios.push_back(e_ratio);
         edp_ratios.push_back(edp_ratio);
-        printRow(name, {fmt(monaco.total(), 0), fmt(upea.total(), 0),
-                        fmt(e_ratio), fmt(edp_ratio)},
+        printRow(compiled[i].workload->name(),
+                 {fmt(monaco.energy.total(), 0),
+                  fmt(upea.energy.total(), 0), fmt(e_ratio),
+                  fmt(edp_ratio)},
                  10, 12);
     }
 
@@ -63,5 +69,6 @@ main()
              10, 12);
     std::printf("\n(E-ratio > 1: UPEA spends more energy; EDP folds "
                 "in the runtime advantage)\n");
+    printSweepFooter(sweep);
     return 0;
 }

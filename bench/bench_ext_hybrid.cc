@@ -8,41 +8,50 @@
  * With line-interleaved (placement-oblivious) data, 1/4 of accesses
  * become arbitration-free — a modest additional win concentrated in
  * the far domains, exactly where NUPEA alone is weakest.
+ *
+ * Sweep points run concurrently (--jobs N / NUPEA_BENCH_JOBS);
+ * results are identical for any job count.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nupea;
     using namespace nupea::bench;
 
+    SweepRunner runner(parseSweepArgs(argc, argv));
     Topology topo = Topology::makeMonaco(12, 12);
+
+    std::vector<CompileSpec> cspecs;
+    for (const auto &name : workloadNames())
+        cspecs.push_back({name, topo, CompileOptions{}});
+    std::vector<CompiledWorkload> compiled = compileAll(runner, cspecs);
+
+    std::vector<RunSpec> rspecs;
+    for (const CompiledWorkload &cw : compiled) {
+        const std::string &app = cw.workload->name();
+        rspecs.push_back(
+            {&cw, primaryConfig(MemModel::Monaco, 0), app + "/monaco"});
+        rspecs.push_back({&cw, primaryConfig(MemModel::NupeaNuma, 0),
+                          app + "/nupea+numa"});
+    }
+    SweepResult sweep = runSweep(runner, rspecs);
 
     std::printf("Extension: Monaco vs hybrid NUPEA+NUMA memory "
                 "(normalized to Monaco)\n\n");
     printRow("app", {"Monaco", "NUPEA+NUMA", "local%"});
 
     std::vector<double> ratios;
-    for (const auto &name : workloadNames()) {
-        CompiledWorkload cw = compileWorkload(name, topo,
-                                              CompileOptions{});
-        BenchRun monaco =
-            runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
-
-        BackingStore store(MemSysConfig{}.memBytes);
-        cw.workload->init(store);
-        MachineConfig cfg = primaryConfig(MemModel::NupeaNuma, 0);
-        Machine machine(cw.graph, cw.pnr.placement, cw.topo, cfg,
-                        store);
-        RunResult hybrid = machine.run();
-        std::string why;
-        if (!hybrid.clean || !cw.workload->verify(store, &why))
-            warn(name, ": hybrid run problem: ", hybrid.problem, " ",
-                 why);
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+        const std::string &name = compiled[i].workload->name();
+        const BenchRun &monaco = sweep.points[2 * i].run;
+        const BenchRun &hybrid = sweep.points[2 * i + 1].run;
+        if (!hybrid.verified)
+            warn(name, ": hybrid run failed verification");
 
         double local = static_cast<double>(
             hybrid.stats.counterValue("fmnoc.local_accesses"));
@@ -62,5 +71,6 @@ main()
     printRow("geomean", {fmt(1.0), fmt(geomean(ratios)), ""});
     std::printf("\n(< 1.0 means the hybrid is faster; locality is "
                 "placement-oblivious line interleaving)\n");
+    printSweepFooter(sweep);
     return 0;
 }

@@ -4,26 +4,34 @@
  * (idealized), a practical UPEA fabric with 2-cycle latency, and the
  * NUPEA fabric (Monaco). The paper reports UPEA2 ~32% slower than
  * UPEA0 and NUPEA within ~1% of UPEA0.
+ *
+ * Sweep points run concurrently (--jobs N / NUPEA_BENCH_JOBS);
+ * results are identical for any job count.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nupea;
     using namespace nupea::bench;
 
+    SweepRunner runner(parseSweepArgs(argc, argv));
     Topology topo = Topology::makeMonaco(12, 12);
-    CompileOptions copts;
-    CompiledWorkload cw = compileWorkload("spmspv", topo, copts);
+    CompiledWorkload cw =
+        compileWorkload("spmspv", topo, CompileOptions{});
 
-    BenchRun upea0 = runCompiled(cw, primaryConfig(MemModel::Upea, 0));
-    BenchRun upea2 = runCompiled(cw, primaryConfig(MemModel::Upea, 2));
-    BenchRun nupea =
-        runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
+    SweepResult sweep = runSweep(
+        runner,
+        {{&cw, primaryConfig(MemModel::Upea, 0), "spmspv/upea0"},
+         {&cw, primaryConfig(MemModel::Upea, 2), "spmspv/upea2"},
+         {&cw, primaryConfig(MemModel::Monaco, 0), "spmspv/monaco"}});
+    const BenchRun &upea0 = sweep.points[0].run;
+    const BenchRun &upea2 = sweep.points[1].run;
+    const BenchRun &nupea = sweep.points[2].run;
 
     std::printf("Fig. 6c: spmspv execution time, normalized to UPEA0 "
                 "(idealized)\n");
@@ -45,5 +53,6 @@ main()
               fmt(static_cast<double>(nupea.systemCycles) / base, 3)});
 
     std::printf("\npaper: UPEA2 ~1.32x UPEA0; NUPEA ~1.01x UPEA0\n");
+    printSweepFooter(sweep);
     return 0;
 }

@@ -6,19 +6,44 @@
  * (iv) Monaco (NUPEA), normalized to Monaco. The paper reports
  * Monaco avg 28% faster than UPEA, 20% faster than NUMA-UPEA, and
  * within 21% of Ideal.
+ *
+ * Sweep points run concurrently (--jobs N / NUPEA_BENCH_JOBS);
+ * results are identical for any job count.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nupea;
     using namespace nupea::bench;
 
+    SweepRunner runner(parseSweepArgs(argc, argv));
     Topology topo = Topology::makeMonaco(12, 12);
+
+    // Compile each workload exactly once; share it across threads.
+    std::vector<CompileSpec> cspecs;
+    for (const auto &name : workloadNames())
+        cspecs.push_back({name, topo, CompileOptions{}});
+    std::vector<CompiledWorkload> compiled = compileAll(runner, cspecs);
+
+    // Four machine configs per workload, in a fixed per-app order.
+    std::vector<RunSpec> rspecs;
+    for (const CompiledWorkload &cw : compiled) {
+        const std::string &app = cw.workload->name();
+        rspecs.push_back(
+            {&cw, primaryConfig(MemModel::Monaco, 0), app + "/monaco"});
+        rspecs.push_back(
+            {&cw, primaryConfig(MemModel::Upea, 0), app + "/ideal"});
+        rspecs.push_back(
+            {&cw, primaryConfig(MemModel::Upea, 2), app + "/upea2"});
+        rspecs.push_back({&cw, primaryConfig(MemModel::NumaUpea, 2),
+                          app + "/numa-upea2"});
+    }
+    SweepResult sweep = runSweep(runner, rspecs);
 
     std::printf("Fig. 11: execution time normalized to Monaco "
                 "(shorter = faster)\n\n");
@@ -26,17 +51,12 @@ main()
                      "verified"});
 
     std::vector<double> ideal_r, upea_r, numa_r;
-    for (const auto &name : workloadNames()) {
-        CompiledWorkload cw = compileWorkload(name, topo,
-                                              CompileOptions{});
-        BenchRun monaco =
-            runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
-        BenchRun ideal =
-            runCompiled(cw, primaryConfig(MemModel::Upea, 0));
-        BenchRun upea =
-            runCompiled(cw, primaryConfig(MemModel::Upea, 2));
-        BenchRun numa =
-            runCompiled(cw, primaryConfig(MemModel::NumaUpea, 2));
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+        const CompiledWorkload &cw = compiled[i];
+        const BenchRun &monaco = sweep.points[4 * i + 0].run;
+        const BenchRun &ideal = sweep.points[4 * i + 1].run;
+        const BenchRun &upea = sweep.points[4 * i + 2].run;
+        const BenchRun &numa = sweep.points[4 * i + 3].run;
 
         auto m = static_cast<double>(monaco.systemCycles);
         double ideal_n = static_cast<double>(ideal.systemCycles) / m;
@@ -48,7 +68,7 @@ main()
 
         bool ok = monaco.verified && ideal.verified && upea.verified &&
                   numa.verified;
-        printRow(name,
+        printRow(cw.workload->name(),
                  {fmt(ideal_n), fmt(upea_n), fmt(numa_n), fmt(1.0),
                   std::to_string(cw.parallelism), ok ? "yes" : "NO"});
     }
@@ -59,5 +79,6 @@ main()
     std::printf(
         "\npaper: UPEA ~1.28x Monaco, NUMA-UPEA ~1.20x Monaco, "
         "Ideal ~1/1.21x Monaco\n");
+    printSweepFooter(sweep);
     return 0;
 }

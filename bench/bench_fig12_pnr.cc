@@ -5,41 +5,66 @@
  * aware) over Domain-Unaware placement. The paper reports avg 16%
  * for domain awareness alone and avg 25% for the full effcc
  * heuristic.
+ *
+ * Each (workload, PnR mode) compiles exactly once; compilations and
+ * sweep points run concurrently (--jobs N / NUPEA_BENCH_JOBS) with
+ * results identical for any job count.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nupea;
     using namespace nupea::bench;
 
+    SweepRunner runner(parseSweepArgs(argc, argv));
     Topology topo = Topology::makeMonaco(12, 12);
+
+    const PlaceMode kModes[] = {PlaceMode::DomainUnaware,
+                                PlaceMode::DomainAware,
+                                PlaceMode::CriticalityAware};
+
+    // One compilation per (workload, mode), each exactly once.
+    std::vector<CompileSpec> cspecs;
+    for (const auto &name : workloadNames()) {
+        for (PlaceMode mode : kModes) {
+            CompileOptions copts;
+            copts.mode = mode;
+            cspecs.push_back({name, topo, copts});
+        }
+    }
+    std::vector<CompiledWorkload> compiled = compileAll(runner, cspecs);
+
+    std::vector<RunSpec> rspecs;
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+        rspecs.push_back(
+            {&compiled[i], primaryConfig(MemModel::Monaco, 0),
+             formatMessage(cspecs[i].name, "/",
+                           placeModeName(cspecs[i].options.mode))});
+    }
+    SweepResult sweep = runSweep(runner, rspecs);
 
     std::printf("Fig. 12: speedup over Domain-Unaware PnR on Monaco "
                 "(higher = better)\n\n");
     printRow("app", {"DomUnaware", "OnlyDomain", "effcc"});
 
     std::vector<double> domain_s, effcc_s;
-    for (const auto &name : workloadNames()) {
-        auto run_mode = [&](PlaceMode mode) {
-            CompileOptions copts;
-            copts.mode = mode;
-            CompiledWorkload cw = compileWorkload(name, topo, copts);
-            BenchRun r =
-                runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
-            if (!r.verified)
+    for (std::size_t i = 0; i < workloadNames().size(); ++i) {
+        const std::string &name = workloadNames()[i];
+        double cycles[3];
+        for (std::size_t m = 0; m < 3; ++m) {
+            const PointResult &p = sweep.points[3 * i + m];
+            if (!p.run.verified)
                 warn(name, " failed verification under ",
-                     placeModeName(mode));
-            return static_cast<double>(r.systemCycles);
-        };
-
-        double unaware = run_mode(PlaceMode::DomainUnaware);
-        double domain = run_mode(PlaceMode::DomainAware);
-        double effcc = run_mode(PlaceMode::CriticalityAware);
+                     placeModeName(kModes[m]));
+            cycles[m] = static_cast<double>(p.run.systemCycles);
+        }
+        double unaware = cycles[0], domain = cycles[1],
+               effcc = cycles[2];
 
         domain_s.push_back(unaware / domain);
         effcc_s.push_back(unaware / effcc);
@@ -52,5 +77,6 @@ main()
              {fmt(1.0), fmt(geomean(domain_s)), fmt(geomean(effcc_s))});
     std::printf("\npaper: Only-Domain-Aware ~1.16x, effcc ~1.25x over "
                 "Domain-Unaware\n");
+    printSweepFooter(sweep);
     return 0;
 }

@@ -5,20 +5,42 @@
  * normalized to Monaco. The paper reports near-linear degradation
  * with UPEA delay: Monaco ~3% faster than UPEA1, 28% than UPEA2,
  * 55% than UPEA3, 82% than UPEA4.
+ *
+ * Sweep points run concurrently (--jobs N / NUPEA_BENCH_JOBS);
+ * results are identical for any job count.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nupea;
     using namespace nupea::bench;
 
+    SweepRunner runner(parseSweepArgs(argc, argv));
     Topology topo = Topology::makeMonaco(12, 12);
     constexpr int kMaxLatency = 4;
+    constexpr std::size_t kPerApp = kMaxLatency + 2; // monaco + 5 upea
+
+    std::vector<CompileSpec> cspecs;
+    for (const auto &name : workloadNames())
+        cspecs.push_back({name, topo, CompileOptions{}});
+    std::vector<CompiledWorkload> compiled = compileAll(runner, cspecs);
+
+    std::vector<RunSpec> rspecs;
+    for (const CompiledWorkload &cw : compiled) {
+        const std::string &app = cw.workload->name();
+        rspecs.push_back(
+            {&cw, primaryConfig(MemModel::Monaco, 0), app + "/monaco"});
+        for (int n = 0; n <= kMaxLatency; ++n) {
+            rspecs.push_back({&cw, primaryConfig(MemModel::Upea, n),
+                              formatMessage(app, "/upea", n)});
+        }
+    }
+    SweepResult sweep = runSweep(runner, rspecs);
 
     std::printf("Fig. 14: UPEA latency sweep, execution time "
                 "normalized to Monaco\n\n");
@@ -26,23 +48,22 @@ main()
                      "Monaco"});
 
     std::vector<std::vector<double>> ratios(kMaxLatency + 1);
-    for (const auto &name : workloadNames()) {
-        CompiledWorkload cw = compileWorkload(name, topo,
-                                              CompileOptions{});
-        BenchRun monaco =
-            runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
-        auto m = static_cast<double>(monaco.systemCycles);
+    for (std::size_t i = 0; i < compiled.size(); ++i) {
+        auto m = static_cast<double>(
+            sweep.points[kPerApp * i].run.systemCycles);
 
         std::vector<std::string> cells;
         for (int n = 0; n <= kMaxLatency; ++n) {
-            BenchRun r =
-                runCompiled(cw, primaryConfig(MemModel::Upea, n));
+            const BenchRun &r =
+                sweep.points[kPerApp * i + 1 +
+                             static_cast<std::size_t>(n)]
+                    .run;
             double ratio = static_cast<double>(r.systemCycles) / m;
             ratios[static_cast<std::size_t>(n)].push_back(ratio);
             cells.push_back(fmt(ratio));
         }
         cells.push_back(fmt(1.0));
-        printRow(name, cells);
+        printRow(compiled[i].workload->name(), cells);
     }
 
     std::printf("\n");
@@ -53,5 +74,6 @@ main()
     printRow("geomean", means);
     std::printf("\npaper: UPEA1 ~1.03x, UPEA2 ~1.28x, UPEA3 ~1.55x, "
                 "UPEA4 ~1.82x Monaco\n");
+    printSweepFooter(sweep);
     return 0;
 }

@@ -6,17 +6,61 @@
  * tracks. effcc auto-parallelizes on each fabric. The paper shows
  * the topologies competitive with plentiful tracks (7), but CS/CD
  * collapsing at 2 tracks on large fabrics due to routing pressure.
+ *
+ * Every (topology, seed) compiles exactly once; compilations and
+ * sweep points run concurrently (--jobs N / NUPEA_BENCH_JOBS) with
+ * results identical for any job count.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nupea;
     using namespace nupea::bench;
+
+    SweepRunner runner(parseSweepArgs(argc, argv));
+
+    const int kTracks[] = {2, 7};
+    const TopologyKind kKinds[] = {TopologyKind::Monaco,
+                                   TopologyKind::ClusteredSingle,
+                                   TopologyKind::ClusteredDouble};
+    const int kSizes[] = {8, 16, 24};
+    // Best of two PnR seeds (the compiler's effort knob; smooths
+    // annealing noise in the small fabrics).
+    const std::uint64_t kSeeds[] = {1, 2};
+
+    std::vector<CompileSpec> cspecs;
+    for (int tracks : kTracks) {
+        for (TopologyKind kind : kKinds) {
+            for (int size : kSizes) {
+                for (std::uint64_t seed : kSeeds) {
+                    CompileOptions copts;
+                    copts.parallelism = -1; // force the automatic ramp
+                    copts.seed = seed;
+                    cspecs.push_back({"spmspv",
+                                      Topology::make(kind, size, size,
+                                                     tracks),
+                                      copts});
+                }
+            }
+        }
+    }
+    std::vector<CompiledWorkload> compiled = compileAll(runner, cspecs);
+
+    // The machine config depends on the compile (PnR's divider), so
+    // runs are specced after the compile phase drains.
+    std::vector<RunSpec> rspecs;
+    for (const CompiledWorkload &cw : compiled) {
+        MachineConfig cfg;
+        cfg.mem.model = MemModel::Monaco;
+        cfg.clockDivider = cw.pnr.timing.clockDivider;
+        rspecs.push_back({&cw, cfg, "spmspv/" + cw.topo.name()});
+    }
+    SweepResult sweep = runSweep(runner, rspecs);
 
     std::printf("Fig. 16: spmspv execution time (system cycles) "
                 "across NUPEA topologies\n");
@@ -24,27 +68,18 @@ main()
                 "static timing)\n\n");
     printRow("config", {"8x8", "16x16", "24x24"}, 22, 14);
 
-    for (int tracks : {2, 7}) {
-        for (TopologyKind kind :
-             {TopologyKind::Monaco, TopologyKind::ClusteredSingle,
-              TopologyKind::ClusteredDouble}) {
+    std::size_t idx = 0;
+    for (int tracks : kTracks) {
+        for (TopologyKind kind : kKinds) {
             std::vector<std::string> cells;
-            for (int size : {8, 16, 24}) {
-                Topology topo = Topology::make(kind, size, size, tracks);
-                // Best of two PnR seeds (the compiler's effort knob;
-                // smooths annealing noise in the small fabrics).
+            for (int size : kSizes) {
+                (void)size;
                 Cycle best_cycles = 0;
                 int best_par = 0, best_div = 0;
-                for (std::uint64_t seed : {1u, 2u}) {
-                    CompileOptions copts;
-                    copts.parallelism = -1; // force the automatic ramp
-                    copts.seed = seed;
-                    CompiledWorkload cw =
-                        compileWorkload("spmspv", topo, copts);
-                    MachineConfig cfg;
-                    cfg.mem.model = MemModel::Monaco;
-                    cfg.clockDivider = cw.pnr.timing.clockDivider;
-                    BenchRun r = runCompiled(cw, cfg);
+                for (std::size_t s = 0; s < std::size(kSeeds); ++s) {
+                    const CompiledWorkload &cw = compiled[idx];
+                    const BenchRun &r = sweep.points[idx].run;
+                    ++idx;
                     if (best_cycles == 0 ||
                         r.systemCycles < best_cycles) {
                         best_cycles = r.systemCycles;
@@ -70,5 +105,6 @@ main()
                 "divider)\n");
     std::printf("paper: with 2 tracks CS/CD degrade sharply at 16x16 "
                 "and 24x24; Monaco keeps scaling\n");
+    printSweepFooter(sweep);
     return 0;
 }

@@ -5,38 +5,65 @@
  * fabric sizes, at 2 and 7 data-NoC tracks. The paper shows CS/CD
  * needing significantly longer maximum path delay than Monaco at
  * 2 tracks on large fabrics (and hence a worse clock divider).
+ *
+ * This figure is compile-only; the PnR jobs themselves run
+ * concurrently (--jobs N / NUPEA_BENCH_JOBS) with results identical
+ * for any job count.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nupea;
     using namespace nupea::bench;
+
+    SweepRunner runner(parseSweepArgs(argc, argv));
+
+    const int kTracks[] = {2, 7};
+    const TopologyKind kKinds[] = {TopologyKind::Monaco,
+                                   TopologyKind::ClusteredSingle,
+                                   TopologyKind::ClusteredDouble};
+    const int kSizes[] = {8, 16, 24};
+    // Best of two PnR seeds, matching Fig. 16's policy.
+    const std::uint64_t kSeeds[] = {1, 2};
+
+    std::vector<CompileSpec> cspecs;
+    for (int tracks : kTracks) {
+        for (TopologyKind kind : kKinds) {
+            for (int size : kSizes) {
+                for (std::uint64_t seed : kSeeds) {
+                    CompileOptions copts;
+                    copts.parallelism = -1; // force the automatic ramp
+                    copts.seed = seed;
+                    cspecs.push_back({"spmspv",
+                                      Topology::make(kind, size, size,
+                                                     tracks),
+                                      copts});
+                }
+            }
+        }
+    }
+    std::vector<CompiledWorkload> compiled = compileAll(runner, cspecs);
 
     std::printf("Fig. 17: spmspv max path delay from PnR (wire-delay "
                 "units) across NUPEA topologies\n\n");
     printRow("config", {"8x8", "16x16", "24x24"}, 22, 14);
 
-    for (int tracks : {2, 7}) {
-        for (TopologyKind kind :
-             {TopologyKind::Monaco, TopologyKind::ClusteredSingle,
-              TopologyKind::ClusteredDouble}) {
+    std::size_t idx = 0;
+    for (int tracks : kTracks) {
+        for (TopologyKind kind : kKinds) {
             std::vector<std::string> cells;
-            for (int size : {8, 16, 24}) {
-                Topology topo = Topology::make(kind, size, size, tracks);
-                // Best of two PnR seeds, matching Fig. 16's policy.
+            for (int size : kSizes) {
+                (void)size;
                 double best_delay = 0.0;
                 int best_par = 0;
-                for (std::uint64_t seed : {1u, 2u}) {
-                    CompileOptions copts;
-                    copts.parallelism = -1; // force the automatic ramp
-                    copts.seed = seed;
-                    CompiledWorkload cw =
-                        compileWorkload("spmspv", topo, copts);
+                for (std::size_t s = 0; s < std::size(kSeeds); ++s) {
+                    const CompiledWorkload &cw = compiled[idx];
+                    ++idx;
                     if (best_par == 0 ||
                         cw.pnr.timing.maxPathDelay < best_delay) {
                         best_delay = cw.pnr.timing.maxPathDelay;

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Harness-throughput smoke bench: compiles a small workload basket,
+ * runs the same sweep serially (--jobs 1) and in parallel (--jobs N),
+ * checks the two produce bit-identical simulated stats, and writes
+ * BENCH_perf.json — per-point timings plus serial-vs-parallel sweep
+ * wall-clock — so future PRs can see sweep-throughput regressions.
+ *
+ * Usage: bench_perf_smoke [--jobs N] [--out PATH]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <string>
+
+#include "bench/sweep_runner.h"
+
+namespace
+{
+
+using namespace nupea;
+using namespace nupea::bench;
+
+const char *const kBasket[] = {"dmv",       "spmv", "spmspv",
+                               "mergesort", "ic",   "vww"};
+
+struct NamedConfig
+{
+    const char *name;
+    MemModel model;
+    int upeaLatency;
+};
+
+const NamedConfig kConfigs[] = {
+    {"monaco", MemModel::Monaco, 0},
+    {"upea2", MemModel::Upea, 2},
+    {"numa-upea2", MemModel::NumaUpea, 2},
+};
+
+/** Simulated results that must not depend on the job count. */
+bool
+sameStats(const BenchRun &a, const BenchRun &b)
+{
+    return a.fabricCycles == b.fabricCycles &&
+           a.systemCycles == b.systemCycles && a.loads == b.loads &&
+           a.stores == b.stores && a.firings == b.firings &&
+           a.energy.total() == b.energy.total() &&
+           a.verified == b.verified;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_perf.json";
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0)
+            out_path = argv[i + 1];
+    }
+
+    SweepRunner parallel_runner(parseSweepArgs(argc, argv));
+    SweepRunner serial_runner(SweepOptions{1});
+
+    // Compile the basket once (through the parallel runner).
+    std::vector<CompileSpec> cspecs;
+    for (const char *name : kBasket)
+        cspecs.push_back(
+            {name, Topology::makeMonaco(12, 12), CompileOptions{}});
+    auto compile_start = std::chrono::steady_clock::now();
+    std::vector<CompiledWorkload> compiled =
+        compileAll(parallel_runner, cspecs);
+    double compile_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      compile_start)
+            .count();
+
+    std::vector<RunSpec> rspecs;
+    for (const CompiledWorkload &cw : compiled) {
+        for (const NamedConfig &cfg : kConfigs) {
+            rspecs.push_back(
+                {&cw, primaryConfig(cfg.model, cfg.upeaLatency),
+                 cw.workload->name() + "/" + cfg.name});
+        }
+    }
+
+    SweepResult serial = runSweep(serial_runner, rspecs);
+    SweepResult parallel = runSweep(parallel_runner, rspecs);
+
+    bool identical = true;
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+        if (!sameStats(serial.points[i].run, parallel.points[i].run)) {
+            identical = false;
+            warn("jobs=1 vs jobs=", parallel.jobs,
+                 " stats mismatch at ", serial.points[i].label);
+        }
+    }
+
+    std::uint64_t total_fabric = 0, total_firings = 0;
+    for (const PointResult &p : serial.points) {
+        total_fabric += static_cast<std::uint64_t>(p.run.fabricCycles);
+        total_firings += p.run.firings;
+    }
+
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f)
+        fatal("cannot open ", out_path, " for writing");
+    std::fprintf(f, "{\n  \"bench\": \"perf_smoke\",\n  \"basket\": [");
+    for (std::size_t i = 0; i < std::size(kBasket); ++i)
+        std::fprintf(f, "%s\"%s\"", i ? ", " : "", kBasket[i]);
+    std::fprintf(f, "],\n  \"configs\": [");
+    for (std::size_t i = 0; i < std::size(kConfigs); ++i)
+        std::fprintf(f, "%s\"%s\"", i ? ", " : "", kConfigs[i].name);
+    std::fprintf(f, "],\n");
+    std::fprintf(f, "  \"compile_wall_seconds\": %.6f,\n",
+                 compile_seconds);
+    std::fprintf(
+        f,
+        "  \"sweep\": {\"points\": %zu, \"serial_wall_seconds\": %.6f, "
+        "\"parallel_wall_seconds\": %.6f, \"parallel_jobs\": %d, "
+        "\"harness_speedup\": %.3f, \"stats_identical\": %s},\n",
+        serial.points.size(), serial.wallSeconds, parallel.wallSeconds,
+        parallel.jobs,
+        parallel.wallSeconds > 0.0
+            ? serial.wallSeconds / parallel.wallSeconds
+            : 1.0,
+        identical ? "true" : "false");
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+        const PointResult &p = serial.points[i];
+        double per_sec =
+            p.wallSeconds > 0.0
+                ? static_cast<double>(p.run.fabricCycles) / p.wallSeconds
+                : 0.0;
+        std::fprintf(
+            f,
+            "    {\"label\": \"%s\", \"wall_seconds\": %.6f, "
+            "\"parallel_wall_seconds\": %.6f, \"fabric_cycles\": %llu, "
+            "\"firings\": %llu, \"fabric_cycles_per_sec\": %.1f}%s\n",
+            p.label.c_str(), p.wallSeconds,
+            parallel.points[i].wallSeconds,
+            static_cast<unsigned long long>(p.run.fabricCycles),
+            static_cast<unsigned long long>(p.run.firings), per_sec,
+            i + 1 < serial.points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(
+        f,
+        "  \"total\": {\"serial_wall_seconds\": %.6f, "
+        "\"fabric_cycles_per_sec\": %.1f, \"firings_per_sec\": %.1f}\n",
+        serial.wallSeconds,
+        serial.wallSeconds > 0.0
+            ? static_cast<double>(total_fabric) / serial.wallSeconds
+            : 0.0,
+        serial.wallSeconds > 0.0
+            ? static_cast<double>(total_firings) / serial.wallSeconds
+            : 0.0);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+
+    std::printf("perf_smoke: %zu points, serial %.3fs, parallel %.3fs "
+                "on %d jobs (%.2fx), stats identical: %s\n",
+                serial.points.size(), serial.wallSeconds,
+                parallel.wallSeconds, parallel.jobs,
+                parallel.wallSeconds > 0.0
+                    ? serial.wallSeconds / parallel.wallSeconds
+                    : 1.0,
+                identical ? "yes" : "NO");
+    std::printf("wrote %s\n", out_path.c_str());
+    return identical ? 0 : 1;
+}

@@ -3,17 +3,65 @@
  * Reproduces Table 1: the application suite with its inputs, plus
  * reproduction-side statistics (scaled inputs, DFG size, criticality
  * breakdown) that the paper's table implies.
+ *
+ * Rows build concurrently through the sweep runner (--jobs N /
+ * NUPEA_BENCH_JOBS); output order is fixed by submission order.
  */
 
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "bench/sweep_runner.h"
 #include "compiler/criticality.h"
 
+namespace
+{
+
+/** Everything one printed table row needs. */
+struct Table1Row
+{
+    std::string name;
+    std::string description;
+    std::string paperInput;
+    std::string scaledInput;
+    std::size_t nodes = 0;
+    std::size_t critical = 0;
+    std::size_t innerLoop = 0;
+    std::size_t otherMem = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nupea;
+    using namespace nupea::bench;
+
+    SweepRunner runner(parseSweepArgs(argc, argv));
+
+    // Table 1 needs no PnR or simulation — each row is one build +
+    // criticality analysis, dispatched as its own sweep task.
+    std::vector<std::function<Table1Row()>> tasks;
+    for (const auto &name : workloadNames()) {
+        tasks.push_back([name]() {
+            auto wl = makeWorkload(name);
+            BackingStore store(MemSysConfig{}.memBytes);
+            wl->init(store);
+            Graph g = wl->build(1);
+            auto crit = analyzeCriticality(g);
+            Table1Row row;
+            row.name = wl->name();
+            row.description = wl->description();
+            row.paperInput = wl->paperInput();
+            row.scaledInput = wl->scaledInput();
+            row.nodes = g.numNodes();
+            row.critical = crit.critical;
+            row.innerLoop = crit.innerLoop;
+            row.otherMem = crit.otherMem;
+            return row;
+        });
+    }
+    std::vector<Table1Row> rows = runner.map(std::move(tasks));
 
     std::printf("Table 1: Applications (paper inputs vs. this "
                 "reproduction's scaled inputs)\n\n");
@@ -21,17 +69,12 @@ main()
                 "app", "description", "paper input", "scaled input",
                 "nodes", "crit", "innr", "othr");
 
-    for (const auto &name : workloadNames()) {
-        auto wl = makeWorkload(name);
-        BackingStore store(MemSysConfig{}.memBytes);
-        wl->init(store);
-        Graph g = wl->build(1);
-        auto crit = analyzeCriticality(g);
+    for (const Table1Row &row : rows) {
         std::printf("%-10s %-42s %-34s %-28s %6zu %5zu %5zu %5zu\n",
-                    wl->name().c_str(), wl->description().c_str(),
-                    wl->paperInput().c_str(), wl->scaledInput().c_str(),
-                    g.numNodes(), crit.critical, crit.innerLoop,
-                    crit.otherMem);
+                    row.name.c_str(), row.description.c_str(),
+                    row.paperInput.c_str(), row.scaledInput.c_str(),
+                    row.nodes, row.critical, row.innerLoop,
+                    row.otherMem);
     }
     std::printf("\n(crit/innr/othr = memory instructions by effcc "
                 "criticality class at parallelism 1)\n");

@@ -1,5 +1,6 @@
 #include "bench/bench_util.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <sstream>
@@ -19,9 +20,11 @@ compileWorkload(const std::string &name, const Topology &topo,
     cw.workload = makeWorkload(name);
     cw.topo = topo;
 
-    // Lay out memory once so the graph bakes in the right addresses.
+    // Lay out memory once so the graph bakes in the right addresses;
+    // the image is kept and cloned for every subsequent run.
     BackingStore layout(MemSysConfig{}.memBytes);
     cw.workload->init(layout);
+    cw.image = std::move(layout);
 
     PnrOptions popts;
     popts.place.mode = options.mode;
@@ -61,8 +64,19 @@ compileWorkload(const std::string &name, const Topology &topo,
 BenchRun
 runCompiled(const CompiledWorkload &cw, MachineConfig config)
 {
+    // Clone the compile-time image instead of calling init() again:
+    // init() mutates the workload's expectation bookkeeping, and a
+    // shared CompiledWorkload may be running on several threads.
     BackingStore store(config.memsys.memBytes);
-    cw.workload->init(store);
+    NUPEA_ASSERT(cw.image.size() > 0,
+                 cw.workload->name(), ": run before compileWorkload");
+    NUPEA_ASSERT(cw.image.allocated() <= store.size(),
+                 cw.workload->name(), ": image needs ",
+                 cw.image.allocated(), " bytes, config grants ",
+                 store.size());
+    std::copy_n(cw.image.raw().begin(),
+                static_cast<std::ptrdiff_t>(cw.image.allocated()),
+                store.raw().begin());
 
     Machine machine(cw.graph, cw.pnr.placement, cw.topo, config, store);
     RunResult r = machine.run();
@@ -84,6 +98,8 @@ runCompiled(const CompiledWorkload &cw, MachineConfig config)
     auto it = r.stats.dists().find("fmnoc.latency_total");
     if (it != r.stats.dists().end())
         out.avgMemLatency = it->second.mean();
+    out.energy = r.energy;
+    out.stats = std::move(r.stats);
     return out;
 }
 

@@ -22,7 +22,13 @@ namespace nupea
 namespace bench
 {
 
-/** A workload compiled for one fabric with one PnR mode. */
+/**
+ * A workload compiled for one fabric with one PnR mode.
+ *
+ * Immutable after compileWorkload(): runs clone `image` rather than
+ * re-running init(), and verify() is const — so one CompiledWorkload
+ * is safe to share across SweepRunner threads.
+ */
 struct CompiledWorkload
 {
     std::unique_ptr<Workload> workload;
@@ -30,6 +36,8 @@ struct CompiledWorkload
     Graph graph;
     PnrResult pnr;
     int parallelism = 1;
+    /** Initialized memory image, captured once at compile time. */
+    BackingStore image{0};
 };
 
 /** Compilation knobs for the harness. */
@@ -66,12 +74,16 @@ struct BenchRun
     std::uint64_t stores = 0;
     std::uint64_t firings = 0;
     double avgMemLatency = 0.0; ///< system cycles, request to response
+    EnergyBreakdown energy;     ///< compute/network/memory split
+    StatSet stats;              ///< full machine stat set
 };
 
 /**
- * Run a compiled workload under `config` on a fresh memory image.
- * fatal() on watchdog expiry or unclean termination; `verified`
- * records whether the memory image matched the host reference.
+ * Run a compiled workload under `config` on a fresh clone of the
+ * compiled memory image (never touching the workload object, so
+ * concurrent runs of one CompiledWorkload are safe). fatal() on
+ * watchdog expiry or unclean termination; `verified` records whether
+ * the memory image matched the host reference.
  */
 BenchRun runCompiled(const CompiledWorkload &cw,
                      MachineConfig config = MachineConfig{});

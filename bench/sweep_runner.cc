@@ -1,0 +1,277 @@
+#include "bench/sweep_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/log.h"
+
+namespace nupea
+{
+namespace bench
+{
+
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+int
+parseJobsValue(const std::string &text)
+{
+    try {
+        int jobs = std::stoi(text);
+        if (jobs < 1)
+            fatal("--jobs must be >= 1, got ", text);
+        return jobs;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("--jobs expects an integer, got '", text, "'");
+    }
+}
+
+} // namespace
+
+int
+defaultJobs()
+{
+    if (const char *env = std::getenv("NUPEA_BENCH_JOBS")) {
+        if (*env != '\0')
+            return parseJobsValue(env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SweepOptions
+parseSweepArgs(int argc, char **argv)
+{
+    SweepOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" || arg == "-j") {
+            if (i + 1 >= argc)
+                fatal(arg, " expects a value");
+            opts.jobs = parseJobsValue(argv[++i]);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            opts.jobs = parseJobsValue(arg.substr(7));
+        } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
+            opts.jobs = parseJobsValue(arg.substr(2));
+        }
+    }
+    return opts;
+}
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : jobs_(options.jobs > 0 ? options.jobs : defaultJobs())
+{
+    if (jobs_ > 1) {
+        deques_.resize(static_cast<std::size_t>(jobs_));
+        workers_.reserve(static_cast<std::size_t>(jobs_));
+        for (int w = 0; w < jobs_; ++w) {
+            workers_.emplace_back(
+                [this, w] { workerLoop(static_cast<std::size_t>(w)); });
+        }
+    }
+}
+
+SweepRunner::~SweepRunner()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            shutdown_ = true;
+        }
+        cvWork_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+}
+
+void
+SweepRunner::runBatchInline()
+{
+    for (std::size_t i = 0; i < batch_.size(); ++i)
+        runTask(i);
+}
+
+void
+SweepRunner::runAll(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+
+    batch_ = std::move(tasks);
+    errors_.assign(batch_.size(), nullptr);
+
+    if (workers_.empty()) {
+        runBatchInline();
+    } else {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            // Deal round-robin so every worker starts with a share.
+            for (std::size_t i = 0; i < batch_.size(); ++i)
+                deques_[i % deques_.size()].push_back(i);
+            queued_ = batch_.size();
+            inFlight_ = 0;
+            ++epoch_;
+        }
+        cvWork_.notify_all();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cvDone_.wait(lock,
+                         [this] { return queued_ == 0 && inFlight_ == 0; });
+        }
+    }
+
+    batch_.clear();
+    for (std::exception_ptr &err : errors_) {
+        if (err) {
+            std::exception_ptr first = err;
+            errors_.clear();
+            std::rethrow_exception(first);
+        }
+    }
+}
+
+bool
+SweepRunner::take(std::size_t wid, std::size_t &task)
+{
+    // Caller holds mu_.
+    std::deque<std::size_t> &own = deques_[wid];
+    if (!own.empty()) {
+        task = own.back(); // LIFO on the owner: warm caches
+        own.pop_back();
+        return true;
+    }
+    // Steal from the front of the longest peer deque.
+    std::size_t victim = deques_.size();
+    std::size_t best = 0;
+    for (std::size_t v = 0; v < deques_.size(); ++v) {
+        if (v != wid && deques_[v].size() > best) {
+            best = deques_[v].size();
+            victim = v;
+        }
+    }
+    if (victim == deques_.size())
+        return false;
+    task = deques_[victim].front(); // FIFO on thieves: oldest work
+    deques_[victim].pop_front();
+    return true;
+}
+
+void
+SweepRunner::runTask(std::size_t task)
+{
+    try {
+        batch_[task]();
+    } catch (...) {
+        errors_[task] = std::current_exception();
+    }
+}
+
+void
+SweepRunner::workerLoop(std::size_t wid)
+{
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        std::size_t task = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cvWork_.wait(lock, [this, &seen_epoch] {
+                return shutdown_ || queued_ > 0 || epoch_ != seen_epoch;
+            });
+            seen_epoch = epoch_;
+            if (queued_ == 0) {
+                if (shutdown_)
+                    return;
+                continue;
+            }
+            if (!take(wid, task))
+                continue;
+            --queued_;
+            ++inFlight_;
+        }
+
+        runTask(task);
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --inFlight_;
+            if (queued_ == 0 && inFlight_ == 0)
+                cvDone_.notify_all();
+        }
+    }
+}
+
+double
+SweepResult::pointSeconds() const
+{
+    double sum = 0.0;
+    for (const PointResult &p : points)
+        sum += p.wallSeconds;
+    return sum;
+}
+
+SweepResult
+runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
+{
+    std::vector<std::function<PointResult()>> tasks;
+    tasks.reserve(specs.size());
+    for (const RunSpec &spec : specs) {
+        NUPEA_ASSERT(spec.cw != nullptr, "RunSpec without a workload");
+        tasks.push_back([&spec]() {
+            auto start = std::chrono::steady_clock::now();
+            PointResult point;
+            point.label = spec.label;
+            point.run = runCompiled(*spec.cw, spec.config);
+            point.wallSeconds = secondsSince(start);
+            return point;
+        });
+    }
+
+    SweepResult sweep;
+    sweep.jobs = runner.jobs();
+    auto start = std::chrono::steady_clock::now();
+    sweep.points = runner.map(std::move(tasks));
+    sweep.wallSeconds = secondsSince(start);
+    return sweep;
+}
+
+std::vector<CompiledWorkload>
+compileAll(SweepRunner &runner, const std::vector<CompileSpec> &specs)
+{
+    std::vector<std::function<CompiledWorkload()>> tasks;
+    tasks.reserve(specs.size());
+    for (const CompileSpec &spec : specs) {
+        tasks.push_back([&spec]() {
+            return compileWorkload(spec.name, spec.topo, spec.options);
+        });
+    }
+    return runner.map(std::move(tasks));
+}
+
+void
+printSweepFooter(const SweepResult &sweep)
+{
+    double serial = sweep.pointSeconds();
+    double speedup =
+        sweep.wallSeconds > 0.0 ? serial / sweep.wallSeconds : 1.0;
+    std::printf("[sweep] %zu points on %d job%s: %.2fs wall "
+                "(points sum %.2fs, %.2fx harness speedup)\n",
+                sweep.points.size(), sweep.jobs,
+                sweep.jobs == 1 ? "" : "s", sweep.wallSeconds, serial,
+                speedup);
+}
+
+} // namespace bench
+} // namespace nupea

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Parallel sweep runner for the figure-reproduction benches.
+ *
+ * Every figure sweep is a set of (compiled workload, machine config)
+ * points; each point is a pure function of its inputs — a fresh
+ * Machine over a cloned BackingStore image — so points execute
+ * concurrently on a small work-stealing thread pool and aggregate
+ * deterministically in submission order. Simulated results are
+ * bit-identical for any job count (enforced by test_golden_stats);
+ * only harness wall-clock changes.
+ *
+ * Thread-safety contract leaned on here (audited in this PR):
+ *  - CompiledWorkload is immutable after compileWorkload(): runs
+ *    clone its baked memory image instead of re-running the
+ *    workload's init(), and Workload::verify() is const.
+ *  - Machine, MemorySystem, MemAccessModel, StatSet and Rng hold all
+ *    state per instance; the library has no mutable globals (the only
+ *    function-local static is the const workloadNames() vector, whose
+ *    C++11 magic-static init is thread-safe).
+ *  - fatal() inside a point is caught on the worker and re-thrown
+ *    from runAll() on the submitting thread, first-submitted first.
+ */
+
+#ifndef NUPEA_BENCH_SWEEP_RUNNER_H
+#define NUPEA_BENCH_SWEEP_RUNNER_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace nupea
+{
+namespace bench
+{
+
+/** Knobs for the runner (CLI/env resolution in parseSweepArgs). */
+struct SweepOptions
+{
+    /** Worker count; 0 = NUPEA_BENCH_JOBS, else the core count. */
+    int jobs = 0;
+};
+
+/** NUPEA_BENCH_JOBS if set and positive, else hardware concurrency. */
+int defaultJobs();
+
+/** Parse --jobs N / --jobs=N / -j N / -jN (other args are ignored). */
+SweepOptions parseSweepArgs(int argc, char **argv);
+
+/**
+ * A small work-stealing thread pool. Tasks are dealt round-robin
+ * onto per-worker deques; a worker pops its own deque LIFO and
+ * steals FIFO from the busiest peer when empty. With jobs == 1 the
+ * batch runs inline on the calling thread (the exact serial path).
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions options = SweepOptions{});
+    ~SweepRunner();
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * Execute every task to completion (blocks). If any task threw,
+     * the first-submitted exception is re-thrown here after the
+     * whole batch has drained.
+     */
+    void runAll(std::vector<std::function<void()>> tasks);
+
+    /**
+     * Parallel map with submission-ordered results. T must be
+     * default-constructible and move-assignable.
+     */
+    template <typename T>
+    std::vector<T>
+    map(std::vector<std::function<T()>> tasks)
+    {
+        std::vector<T> out(tasks.size());
+        std::vector<std::function<void()>> thunks;
+        thunks.reserve(tasks.size());
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            thunks.push_back([&out, &tasks, i] { out[i] = tasks[i](); });
+        runAll(std::move(thunks));
+        return out;
+    }
+
+  private:
+    void workerLoop(std::size_t wid);
+    /** Pop own back, else steal the busiest peer's front. */
+    bool take(std::size_t wid, std::size_t &task);
+    void runTask(std::size_t task);
+    void runBatchInline();
+
+    int jobs_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_; ///< guards everything below
+    std::condition_variable cvWork_;
+    std::condition_variable cvDone_;
+    std::vector<std::deque<std::size_t>> deques_;
+    std::vector<std::function<void()>> batch_;
+    std::vector<std::exception_ptr> errors_;
+    std::size_t inFlight_ = 0;  ///< tasks taken but not finished
+    std::size_t queued_ = 0;    ///< tasks still in deques
+    std::uint64_t epoch_ = 0;   ///< bumped per runAll batch
+    bool shutdown_ = false;
+};
+
+/** One sweep point: run `cw` under `config` on a fresh machine. */
+struct RunSpec
+{
+    const CompiledWorkload *cw = nullptr;
+    MachineConfig config;
+    /** For error messages and per-point timing records. */
+    std::string label;
+};
+
+/** One executed point, in submission order. */
+struct PointResult
+{
+    BenchRun run;
+    double wallSeconds = 0.0; ///< host wall-clock of this point
+    std::string label;
+};
+
+/** A drained sweep plus harness-throughput accounting. */
+struct SweepResult
+{
+    std::vector<PointResult> points; ///< submission order
+    double wallSeconds = 0.0;        ///< batch wall-clock
+    int jobs = 1;
+
+    /** Sum of per-point wall times (the serial-equivalent cost). */
+    double pointSeconds() const;
+};
+
+/** Execute every spec through the runner; results in spec order. */
+SweepResult runSweep(SweepRunner &runner,
+                     const std::vector<RunSpec> &specs);
+
+/** One workload compilation request. */
+struct CompileSpec
+{
+    std::string name;
+    Topology topo;
+    CompileOptions options;
+};
+
+/**
+ * Compile every spec through the runner (PnR dominates harness time
+ * for the topology studies); results in spec order.
+ */
+std::vector<CompiledWorkload>
+compileAll(SweepRunner &runner, const std::vector<CompileSpec> &specs);
+
+/** Print the standard "[sweep] N points ... " harness footer. */
+void printSweepFooter(const SweepResult &sweep);
+
+} // namespace bench
+} // namespace nupea
+
+#endif // NUPEA_BENCH_SWEEP_RUNNER_H

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Golden-number regression suite for the parallel sweep runner.
+ *
+ * Two guardrails:
+ *  1. Pinned simulated stats (fabric cycles, memory-request counts,
+ *     firings, energy totals) for three small workloads under both a
+ *     NUPEA-unaware and the full effcc PlaceMode — any change to the
+ *     simulator, compiler, or the harness's new image-cloning run
+ *     path shows up as an exact-number diff here.
+ *  2. Serial-vs-parallel equivalence: the same sweep executed with
+ *     --jobs 1 and --jobs 8 must produce bit-identical per-point
+ *     stats, proving the work-stealing runner cannot perturb results.
+ *
+ * Plus unit tests for the SweepRunner itself (ordering, stealing
+ * under imbalance, exception propagation). These tests carry the
+ * `tsan` ctest label and are the core of the build-tsan preset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "bench/sweep_runner.h"
+
+namespace nupea
+{
+namespace
+{
+
+using namespace nupea::bench;
+
+/** Pinned per-(workload, mode) simulated results on monaco-12x12
+ *  under primaryConfig(Monaco, 0). Regenerate by printing the four
+ *  stats from a fresh run if an *intentional* model change lands. */
+struct Golden
+{
+    const char *name;
+    PlaceMode mode;
+    Cycle fabricCycles;
+    std::uint64_t memRequests; ///< loads + stores
+    std::uint64_t firings;
+    double energyTotal;
+};
+
+const Golden kGolden[] = {
+    {"dmv", PlaceMode::DomainUnaware, 673, 3240, 24552, 77521.6},
+    {"dmv", PlaceMode::CriticalityAware, 607, 3240, 24552, 77459.2},
+    {"spmspv", PlaceMode::DomainUnaware, 5466, 8276, 69633, 210769.5},
+    {"spmspv", PlaceMode::CriticalityAware, 3900, 8276, 69633,
+     229714.3},
+    {"mergesort", PlaceMode::DomainUnaware, 2102, 1077, 18781,
+     56903.6},
+    {"mergesort", PlaceMode::CriticalityAware, 1729, 1077, 18781,
+     54532.2},
+};
+
+TEST(GoldenStats, PinnedWorkloadNumbers)
+{
+    Topology topo = Topology::makeMonaco(12, 12);
+    for (const Golden &g : kGolden) {
+        CompileOptions copts;
+        copts.mode = g.mode;
+        CompiledWorkload cw = compileWorkload(g.name, topo, copts);
+        BenchRun r = runCompiled(cw, primaryConfig(MemModel::Monaco, 0));
+
+        std::string ctx = formatMessage(g.name, "/",
+                                        placeModeName(g.mode));
+        EXPECT_TRUE(r.verified) << ctx;
+        EXPECT_EQ(r.fabricCycles, g.fabricCycles) << ctx;
+        EXPECT_EQ(r.loads + r.stores, g.memRequests) << ctx;
+        EXPECT_EQ(r.firings, g.firings) << ctx;
+        EXPECT_NEAR(r.energy.total(), g.energyTotal, 1e-3) << ctx;
+    }
+}
+
+/** The sweep both halves of the equivalence test execute. */
+std::vector<RunSpec>
+equivalenceSweep(const std::vector<CompiledWorkload> &compiled)
+{
+    std::vector<RunSpec> specs;
+    for (const CompiledWorkload &cw : compiled) {
+        const std::string &app = cw.workload->name();
+        specs.push_back(
+            {&cw, primaryConfig(MemModel::Monaco, 0), app + "/monaco"});
+        specs.push_back(
+            {&cw, primaryConfig(MemModel::Upea, 2), app + "/upea2"});
+        specs.push_back({&cw, primaryConfig(MemModel::NumaUpea, 2),
+                         app + "/numa-upea2"});
+    }
+    return specs;
+}
+
+TEST(GoldenStats, SerialAndParallelSweepsAreBitIdentical)
+{
+    Topology topo = Topology::makeMonaco(12, 12);
+    SweepRunner serial(SweepOptions{1});
+    SweepRunner parallel(SweepOptions{8});
+
+    std::vector<CompileSpec> cspecs;
+    for (const char *name : {"dmv", "spmspv", "mergesort"})
+        cspecs.push_back({name, topo, CompileOptions{}});
+    std::vector<CompiledWorkload> compiled = compileAll(serial, cspecs);
+
+    std::vector<RunSpec> specs = equivalenceSweep(compiled);
+    SweepResult a = runSweep(serial, specs);
+    SweepResult b = runSweep(parallel, specs);
+
+    ASSERT_EQ(a.points.size(), specs.size());
+    ASSERT_EQ(b.points.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const BenchRun &s = a.points[i].run;
+        const BenchRun &p = b.points[i].run;
+        const std::string &ctx = a.points[i].label;
+        EXPECT_EQ(s.fabricCycles, p.fabricCycles) << ctx;
+        EXPECT_EQ(s.systemCycles, p.systemCycles) << ctx;
+        EXPECT_EQ(s.loads, p.loads) << ctx;
+        EXPECT_EQ(s.stores, p.stores) << ctx;
+        EXPECT_EQ(s.firings, p.firings) << ctx;
+        EXPECT_EQ(s.verified, p.verified) << ctx;
+        // Energy accumulates in identical order within one run, so
+        // even the doubles must match bit-for-bit.
+        EXPECT_EQ(s.energy.compute, p.energy.compute) << ctx;
+        EXPECT_EQ(s.energy.network, p.energy.network) << ctx;
+        EXPECT_EQ(s.energy.memory, p.energy.memory) << ctx;
+        EXPECT_EQ(s.avgMemLatency, p.avgMemLatency) << ctx;
+        // Full machine stat sets: every counter, same values.
+        EXPECT_EQ(s.stats.counters(), p.stats.counters()) << ctx;
+    }
+}
+
+TEST(SweepRunnerTest, MapPreservesSubmissionOrder)
+{
+    SweepRunner runner(SweepOptions{8});
+    constexpr int kTasks = 64;
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < kTasks; ++i) {
+        tasks.push_back([i]() {
+            // Imbalanced task lengths exercise stealing.
+            if (i % 7 == 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(2));
+            }
+            return i * i;
+        });
+    }
+    std::vector<int> out = runner.map(std::move(tasks));
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(kTasks));
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST(SweepRunnerTest, ReusableAcrossBatches)
+{
+    SweepRunner runner(SweepOptions{4});
+    for (int batch = 0; batch < 3; ++batch) {
+        std::vector<std::function<int()>> tasks;
+        for (int i = 0; i < 16; ++i)
+            tasks.push_back([batch, i]() { return batch * 100 + i; });
+        std::vector<int> out = runner.map(std::move(tasks));
+        for (int i = 0; i < 16; ++i)
+            EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                      batch * 100 + i);
+    }
+}
+
+TEST(SweepRunnerTest, PropagatesFirstSubmittedError)
+{
+    SweepRunner runner(SweepOptions{8});
+    std::vector<std::function<int()>> tasks;
+    for (int i = 0; i < 32; ++i) {
+        tasks.push_back([i]() -> int {
+            if (i == 3 || i == 7)
+                fatal("task ", i, " failed");
+            return i;
+        });
+    }
+    try {
+        runner.map(std::move(tasks));
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("task 3"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(SweepRunnerTest, JobsResolution)
+{
+    // Explicit jobs win.
+    EXPECT_EQ(SweepRunner(SweepOptions{3}).jobs(), 3);
+    // --jobs parsing in its spellings.
+    const char *argv1[] = {"bench", "--jobs", "5"};
+    EXPECT_EQ(parseSweepArgs(3, const_cast<char **>(argv1)).jobs, 5);
+    const char *argv2[] = {"bench", "--jobs=6"};
+    EXPECT_EQ(parseSweepArgs(2, const_cast<char **>(argv2)).jobs, 6);
+    const char *argv3[] = {"bench", "-j4"};
+    EXPECT_EQ(parseSweepArgs(2, const_cast<char **>(argv3)).jobs, 4);
+    const char *argv4[] = {"bench", "-j", "2"};
+    EXPECT_EQ(parseSweepArgs(3, const_cast<char **>(argv4)).jobs, 2);
+    // No flag: deferred to env/hardware.
+    const char *argv5[] = {"bench"};
+    EXPECT_EQ(parseSweepArgs(1, const_cast<char **>(argv5)).jobs, 0);
+    EXPECT_GE(defaultJobs(), 1);
+}
+
+} // namespace
+} // namespace nupea
