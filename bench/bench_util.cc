@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "compiler/report.h"
 
 namespace nupea
 {
@@ -100,7 +101,85 @@ runCompiled(const CompiledWorkload &cw, MachineConfig config)
         out.avgMemLatency = it->second.mean();
     out.energy = r.energy;
     out.stats = std::move(r.stats);
+    out.nodeStalls = std::move(r.nodeStalls);
+    out.nodeMemLatency = std::move(r.nodeMemLatency);
     return out;
+}
+
+void
+printStallReport(const CompiledWorkload &cw, const std::string &label,
+                 const BenchRun &run)
+{
+    std::printf("[stall] %s: %llu fabric cycles, %llu firings\n",
+                label.c_str(),
+                static_cast<unsigned long long>(run.fabricCycles),
+                static_cast<unsigned long long>(run.firings));
+    if (run.nodeStalls.empty()) {
+        std::printf("  (run executed without stall attribution)\n");
+        return;
+    }
+
+    // Per-FU-class cycles by reason, from the flushed stat counters.
+    static const char *const kClasses[] = {"arith", "control", "mem",
+                                           "xdata"};
+    std::vector<std::string> header{"class"};
+    for (std::size_t ri = 0; ri < kNumStallReasons; ++ri)
+        header.push_back(std::string(
+            stallReasonName(static_cast<StallReason>(ri))));
+    printRow("  ", header, 4, 19);
+    for (const char *cls : kClasses) {
+        std::vector<std::string> cells{cls};
+        std::uint64_t row_total = 0;
+        for (std::size_t ri = 0; ri < kNumStallReasons; ++ri) {
+            std::uint64_t v = run.stats.counterValue(
+                formatMessage("stall.", cls, ".",
+                              stallReasonName(
+                                  static_cast<StallReason>(ri))));
+            row_total += v;
+            cells.push_back(std::to_string(v));
+        }
+        if (row_total > 0)
+            printRow("  ", cells, 4, 19);
+    }
+
+    // Memory nodes ranked by cycles lost to memory-side stalls.
+    std::vector<NodeId> mem_nodes;
+    for (NodeId id = 0; id < cw.graph.numNodes(); ++id) {
+        if (opTraits(cw.graph.node(id).op).isMemory &&
+            id < run.nodeStalls.size())
+            mem_nodes.push_back(id);
+    }
+    auto memStall = [&](NodeId id) {
+        const NodeStallCounters &c = run.nodeStalls[id];
+        return c.of(StallReason::OutstandingCap) +
+               c.of(StallReason::RespUndeliverable) +
+               c.of(StallReason::MemWait);
+    };
+    std::sort(mem_nodes.begin(), mem_nodes.end(),
+              [&](NodeId a, NodeId b) { return memStall(a) > memStall(b); });
+    if (mem_nodes.size() > 5)
+        mem_nodes.resize(5);
+    for (NodeId id : mem_nodes) {
+        const Node &n = cw.graph.node(id);
+        const NodeStallCounters &c = run.nodeStalls[id];
+        double lat = id < run.nodeMemLatency.size()
+                         ? run.nodeMemLatency[id].mean()
+                         : 0.0;
+        std::string what =
+            n.name.empty() ? std::string(opName(n.op)) : n.name;
+        std::printf("  n%u %s [%s]: fired=%llu mem_stall=%llu "
+                    "avg_lat=%.1f\n",
+                    id, what.c_str(),
+                    std::string(criticalityName(n.crit)).c_str(),
+                    static_cast<unsigned long long>(
+                        c.of(StallReason::Fired)),
+                    static_cast<unsigned long long>(memStall(id)), lat);
+    }
+
+    std::fputs(
+        validateCriticalityRanks(cw.graph, run.nodeMemLatency)
+            .table.c_str(),
+        stdout);
 }
 
 MachineConfig

@@ -76,6 +76,11 @@ struct BenchRun
     double avgMemLatency = 0.0; ///< system cycles, request to response
     EnergyBreakdown energy;     ///< compute/network/memory split
     StatSet stats;              ///< full machine stat set
+    /** Per-node stall attribution (empty unless
+     *  MachineConfig::stallAttribution was set for the run). */
+    std::vector<NodeStallCounters> nodeStalls;
+    /** Per-node memory latency distributions (same gating). */
+    std::vector<Distribution> nodeMemLatency;
 };
 
 /**
@@ -87,6 +92,15 @@ struct BenchRun
  */
 BenchRun runCompiled(const CompiledWorkload &cw,
                      MachineConfig config = MachineConfig{});
+
+/**
+ * Print a stall-attribution table for one run (requires the run to
+ * have been executed with stallAttribution): per-FU-class cycles by
+ * StallReason, the busiest memory nodes, and the criticality-rank
+ * cross-validation against measured per-load latency.
+ */
+void printStallReport(const CompiledWorkload &cw,
+                      const std::string &label, const BenchRun &run);
 
 /** Machine config for the paper's primary comparisons (divider 2). */
 MachineConfig primaryConfig(MemModel model, int upea_latency);

@@ -4,9 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 
 #include "common/log.h"
+#include "sim/trace.h"
 
 namespace nupea
 {
@@ -66,13 +70,22 @@ parseSweepArgs(int argc, char **argv)
             opts.jobs = parseJobsValue(arg.substr(7));
         } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
             opts.jobs = parseJobsValue(arg.substr(2));
+        } else if (arg == "--stall-report") {
+            opts.stallReport = true;
+        } else if (arg == "--trace-out") {
+            if (i + 1 >= argc)
+                fatal(arg, " expects a directory");
+            opts.traceDir = argv[++i];
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opts.traceDir = arg.substr(12);
         }
     }
     return opts;
 }
 
 SweepRunner::SweepRunner(SweepOptions options)
-    : jobs_(options.jobs > 0 ? options.jobs : defaultJobs())
+    : options_(options),
+      jobs_(options.jobs > 0 ? options.jobs : defaultJobs())
 {
     if (jobs_ > 1) {
         deques_.resize(static_cast<std::size_t>(jobs_));
@@ -222,18 +235,70 @@ SweepResult::pointSeconds() const
     return sum;
 }
 
+namespace
+{
+
+/** A spec label turned into a safe file stem. */
+std::string
+sanitizeLabel(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (char ch : label) {
+        bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                  (ch >= '0' && ch <= '9') || ch == '.' || ch == '-' ||
+                  ch == '_';
+        out.push_back(ok ? ch : '_');
+    }
+    return out.empty() ? "point" : out;
+}
+
+/** Per-point trace file + sink, kept alive for the point's run. */
+struct PointTrace
+{
+    std::ofstream os;
+    std::unique_ptr<ChromeTraceSink> sink;
+};
+
+} // namespace
+
 SweepResult
 runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
 {
+    const SweepOptions &opts = runner.options();
+    if (!opts.traceDir.empty())
+        std::filesystem::create_directories(opts.traceDir);
+
+    // One slot per point so concurrent workers never share a stream.
+    std::vector<std::unique_ptr<PointTrace>> traces(specs.size());
+
     std::vector<std::function<PointResult()>> tasks;
     tasks.reserve(specs.size());
-    for (const RunSpec &spec : specs) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const RunSpec &spec = specs[i];
         NUPEA_ASSERT(spec.cw != nullptr, "RunSpec without a workload");
-        tasks.push_back([&spec]() {
+
+        MachineConfig config = spec.config;
+        if (opts.observing())
+            config.stallAttribution = true;
+        if (!opts.traceDir.empty()) {
+            std::filesystem::path path =
+                std::filesystem::path(opts.traceDir) /
+                (sanitizeLabel(spec.label) + ".trace.json");
+            auto trace = std::make_unique<PointTrace>();
+            trace->os.open(path);
+            if (!trace->os)
+                fatal("cannot open trace file ", path.string());
+            trace->sink = std::make_unique<ChromeTraceSink>(trace->os);
+            config.trace = trace->sink.get();
+            traces[i] = std::move(trace);
+        }
+
+        tasks.push_back([&spec, config]() {
             auto start = std::chrono::steady_clock::now();
             PointResult point;
             point.label = spec.label;
-            point.run = runCompiled(*spec.cw, spec.config);
+            point.run = runCompiled(*spec.cw, config);
             point.wallSeconds = secondsSince(start);
             return point;
         });
@@ -244,6 +309,19 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
     auto start = std::chrono::steady_clock::now();
     sweep.points = runner.map(std::move(tasks));
     sweep.wallSeconds = secondsSince(start);
+
+    for (std::unique_ptr<PointTrace> &trace : traces) {
+        if (trace)
+            trace->sink->finish();
+    }
+    if (!opts.traceDir.empty())
+        std::printf("[trace] wrote %zu Chrome trace files to %s\n",
+                    specs.size(), opts.traceDir.c_str());
+    if (opts.stallReport) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            printStallReport(*specs[i].cw, sweep.points[i].label,
+                             sweep.points[i].run);
+    }
     return sweep;
 }
 

@@ -45,14 +45,34 @@ namespace bench
 /** Knobs for the runner (CLI/env resolution in parseSweepArgs). */
 struct SweepOptions
 {
+    SweepOptions() = default;
+    explicit SweepOptions(int jobs_count) : jobs(jobs_count) {}
+
     /** Worker count; 0 = NUPEA_BENCH_JOBS, else the core count. */
     int jobs = 0;
+    /** Run every point with stall attribution and print per-point
+     *  attribution tables after the sweep. */
+    bool stallReport = false;
+    /** When non-empty, write one Chrome trace_event JSON per point
+     *  into this directory (implies stall attribution, so the traces
+     *  carry stall intervals). */
+    std::string traceDir;
+
+    /** Any observability feature requested? */
+    bool
+    observing() const
+    {
+        return stallReport || !traceDir.empty();
+    }
 };
 
 /** NUPEA_BENCH_JOBS if set and positive, else hardware concurrency. */
 int defaultJobs();
 
-/** Parse --jobs N / --jobs=N / -j N / -jN (other args are ignored). */
+/**
+ * Parse --jobs N / --jobs=N / -j N / -jN, --stall-report, and
+ * --trace-out DIR / --trace-out=DIR (other args are ignored).
+ */
 SweepOptions parseSweepArgs(int argc, char **argv);
 
 /**
@@ -71,6 +91,7 @@ class SweepRunner
     SweepRunner &operator=(const SweepRunner &) = delete;
 
     int jobs() const { return jobs_; }
+    const SweepOptions &options() const { return options_; }
 
     /**
      * Execute every task to completion (blocks). If any task threw,
@@ -103,6 +124,7 @@ class SweepRunner
     void runTask(std::size_t task);
     void runBatchInline();
 
+    SweepOptions options_;
     int jobs_;
     std::vector<std::thread> workers_;
 
@@ -146,7 +168,13 @@ struct SweepResult
     double pointSeconds() const;
 };
 
-/** Execute every spec through the runner; results in spec order. */
+/**
+ * Execute every spec through the runner; results in spec order.
+ * When the runner's options request observability, every point runs
+ * with stall attribution (and, with a trace directory, writes
+ * `<dir>/<label>.trace.json`); per-point stall reports print after
+ * the sweep drains, in submission order.
+ */
 SweepResult runSweep(SweepRunner &runner,
                      const std::vector<RunSpec> &specs);
 

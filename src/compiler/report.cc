@@ -83,4 +83,64 @@ domainSummary(const Graph &graph, const Topology &topo,
     return os.str();
 }
 
+CritRankValidation
+validateCriticalityRanks(const Graph &graph,
+                         const std::vector<Distribution> &node_mem_latency)
+{
+    CritRankValidation v;
+    for (Criticality c : {Criticality::Critical, Criticality::InnerLoop,
+                          Criticality::OtherMem}) {
+        CritClassLatency row;
+        row.crit = c;
+        double sum = 0.0;
+        for (NodeId id = 0; id < graph.numNodes(); ++id) {
+            const Node &n = graph.node(id);
+            if (!opTraits(n.op).isMemory || n.crit != c)
+                continue;
+            ++row.nodes;
+            if (id < node_mem_latency.size()) {
+                const Distribution &d = node_mem_latency[id];
+                row.samples += d.count();
+                sum += d.sum();
+            }
+        }
+        if (row.nodes == 0)
+            continue;
+        if (row.samples > 0)
+            row.meanLatency = sum / static_cast<double>(row.samples);
+        v.classes.push_back(row);
+    }
+
+    // Predicted order is fastest-first, so measured means must be
+    // non-decreasing across the classes that actually sampled.
+    double prev = -1.0;
+    for (const CritClassLatency &row : v.classes) {
+        if (row.samples == 0)
+            continue;
+        if (row.meanLatency + 1e-9 < prev)
+            v.rankConsistent = false;
+        prev = row.meanLatency;
+    }
+
+    std::ostringstream os;
+    os << "criticality rank validation (measured mem latency, system "
+          "cycles):\n";
+    if (v.classes.empty())
+        os << "  (no classified memory nodes)\n";
+    for (const CritClassLatency &row : v.classes) {
+        os << "  " << criticalityName(row.crit) << ": nodes="
+           << row.nodes << " samples=" << row.samples;
+        if (row.samples > 0) {
+            os << " mean=" << row.meanLatency;
+        } else {
+            os << " mean=n/a";
+        }
+        os << "\n";
+    }
+    os << "  measured ranks match prediction: "
+       << (v.rankConsistent ? "yes" : "NO") << "\n";
+    v.table = os.str();
+    return v;
+}
+
 } // namespace nupea

@@ -9,8 +9,11 @@
 #ifndef NUPEA_COMPILER_REPORT_H
 #define NUPEA_COMPILER_REPORT_H
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/stats.h"
 #include "compiler/placement.h"
 #include "dfg/graph.h"
 #include "fabric/topology.h"
@@ -35,6 +38,42 @@ std::string placementMap(const Graph &graph, const Topology &topo,
  */
 std::string domainSummary(const Graph &graph, const Topology &topo,
                           const Placement &placement);
+
+/** Measured memory-latency summary for one criticality class. */
+struct CritClassLatency
+{
+    Criticality crit = Criticality::None;
+    int nodes = 0;             ///< memory nodes in the class
+    std::uint64_t samples = 0; ///< latency samples across those nodes
+    double meanLatency = 0.0;  ///< sample-weighted mean, system cycles
+};
+
+/** Outcome of cross-validating measurement against prediction. */
+struct CritRankValidation
+{
+    /** Rows in predicted-fastest-first order (critical, inner-loop,
+     *  other); classes with no memory nodes are omitted. */
+    std::vector<CritClassLatency> classes;
+    /**
+     * True when measured mean latencies are non-decreasing in the
+     * predicted order among classes that sampled: the criticality
+     * analysis promised critical loads the shortest memory path, so
+     * their measured latency should be lowest (Fig. 11/17 sanity
+     * check). Vacuously true with fewer than two sampled classes.
+     */
+    bool rankConsistent = true;
+    std::string table; ///< human-readable summary of the rows
+};
+
+/**
+ * Cross-validate the criticality analysis's predicted latency ranks
+ * against per-node memory latency measured by the simulator
+ * (RunResult::nodeMemLatency, produced under
+ * MachineConfig::stallAttribution; indexed by NodeId).
+ */
+CritRankValidation
+validateCriticalityRanks(const Graph &graph,
+                         const std::vector<Distribution> &node_mem_latency);
 
 } // namespace nupea
 

@@ -1,12 +1,52 @@
 #include "sim/machine.h"
 
 #include <algorithm>
-#include <ostream>
 
 #include "common/log.h"
+#include "sim/trace.h"
 
 namespace nupea
 {
+
+std::string_view
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::Fired: return "fired";
+      case StallReason::OperandWait: return "operand_wait";
+      case StallReason::Backpressure: return "backpressure";
+      case StallReason::OutstandingCap: return "outstanding_cap";
+      case StallReason::RespUndeliverable: return "resp_undeliverable";
+      case StallReason::MemWait: return "mem_wait";
+      case StallReason::Idle: return "idle";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** FU-class name for stall stat keys. */
+std::string_view
+fuClassKey(FuClass fu)
+{
+    switch (fu) {
+      case FuClass::Arith: return "arith";
+      case FuClass::Control: return "control";
+      case FuClass::Mem: return "mem";
+      case FuClass::XData: return "xdata";
+    }
+    return "?";
+}
+
+/** Reasons that open/close a trace stall interval (not fired/idle). */
+bool
+isTracedStall(StallReason r)
+{
+    return r != StallReason::Fired && r != StallReason::Idle;
+}
+
+} // namespace
 
 Machine::Machine(const Graph &graph, const Placement &placement,
                  const Topology &topo, const MachineConfig &config,
@@ -45,6 +85,17 @@ Machine::Machine(const Graph &graph, const Placement &placement,
         }
         if (opTraits(node.op).isMemory)
             memNodes_.push_back(id);
+    }
+    if (config_.stallAttribution) {
+        nodeStalls_.resize(n);
+        lastReason_.assign(n, static_cast<std::uint8_t>(StallReason::Idle));
+        nodeMemLatency_.resize(n);
+    }
+    if (config_.trace) {
+        config_.trace->setClockDivider(config_.clockDivider);
+        for (NodeId id = 0; id < n; ++id)
+            config_.trace->onNodeMeta(id, opName(graph_.node(id).op),
+                                      placement_.of(id));
     }
 }
 
@@ -195,11 +246,8 @@ Machine::fire(NodeId id)
         break;
     }
     firedAt_[id] = now_;
-    if (config_.trace) {
-        *config_.trace << "cycle " << now_ << " fire " << id << " "
-                       << opName(n.op) << " @"
-                       << placement_.of(id).str() << "\n";
-    }
+    if (config_.trace)
+        config_.trace->onFire(now_, id, opName(n.op), placement_.of(id));
     // The node may have more queued work next cycle.
     activate(id, now_ + 1);
 
@@ -305,12 +353,23 @@ Machine::fire(NodeId id)
         MemAccessOutcome out = memModel_->access(
             placement_.of(id), static_cast<Addr>(a), is_store, data,
             issue_sys);
+        if (config_.trace)
+            config_.trace->onMemIssue(issue_sys, out.completeAt, id,
+                                      static_cast<Addr>(a), is_store,
+                                      out.hit);
+        if (config_.stallAttribution)
+            nodeMemLatency_[id].sample(
+                static_cast<double>(out.completeAt - issue_sys));
         // Data-movement energy on the fabric-memory path: one stage
         // each way per domain crossed (Monaco), or the equivalent
-        // uniform-network cost for the baselines.
+        // uniform-network cost for the baselines. Local accesses
+        // (NUMA-UPEA / hybrid same-domain hits) bypass the network in
+        // both directions and cross zero stages.
         double stages;
-        if (config_.mem.model == MemModel::Upea ||
-            config_.mem.model == MemModel::NumaUpea) {
+        if (out.local) {
+            stages = 0.0;
+        } else if (config_.mem.model == MemModel::Upea ||
+                   config_.mem.model == MemModel::NumaUpea) {
             stages = 2.0 * config_.mem.upeaLatency;
         } else {
             stages = 2.0 * out.domain;
@@ -367,6 +426,8 @@ Machine::deliverResponses()
             activate(id, now_ + 1); // retry next cycle
             continue;
         }
+        if (config_.trace)
+            config_.trace->onMemDeliver(now_, id);
         emit(id, pending.front().value, now_);
         pending.pop_front();
         --outstanding_[id];
@@ -374,6 +435,147 @@ Machine::deliverResponses()
         if (!pending.empty())
             wakeups_.push(std::max(pending.front().fabricReady, now_ + 1));
     }
+}
+
+StallReason
+Machine::classifyStall(NodeId id) const
+{
+    const Node &n = graph_.node(id);
+    const auto &pending = pendingResp_[id];
+
+    // A due response that cannot leave the PE is the most actionable
+    // reason: the consumer, not this node, is the bottleneck.
+    if (!pending.empty() && pending.front().fabricReady <= now_ &&
+        !outputsHaveCredit(id))
+        return StallReason::RespUndeliverable;
+
+    bool operands = true; ///< all operands the op needs are visible
+    bool engaged = false; ///< holds mid-computation state
+    Word v;
+    switch (n.op) {
+      case Op::Source:
+        if (!sourcePending_[id])
+            operands = false; // nothing left to emit, ever
+        else
+            return StallReason::Backpressure; // ready() only gated on credit
+        break;
+      case Op::LoopMerge:
+        engaged = mergeState_[id] != MergeState::Init;
+        if (mergeState_[id] == MergeState::Init) {
+            operands = inputVisible(id, 0, v);
+        } else if (!inputVisible(id, 2, v)) {
+            operands = false;
+        } else {
+            operands = v == 0 || inputVisible(id, 1, v);
+        }
+        break;
+      case Op::Invariant:
+      case Op::InvariantGated:
+        engaged = holdState_[id] != HoldState::Empty;
+        operands = inputVisible(
+            id, holdState_[id] == HoldState::Empty ? 0 : 1, v);
+        break;
+      default:
+        for (std::size_t p = 0; operands && p < n.inputs.size(); ++p)
+            operands = inputVisible(id, static_cast<int>(p), v);
+        break;
+    }
+
+    if (operands) {
+        // Operands present but the node did not fire: memory ops are
+        // only ever gated by the outstanding cap (they need no output
+        // credit to issue); everything else is consumer backpressure.
+        if (opTraits(n.op).isMemory)
+            return StallReason::OutstandingCap;
+        return StallReason::Backpressure;
+    }
+    for (const auto &q : fifos_[id])
+        engaged = engaged || !q.empty();
+    if (engaged)
+        return StallReason::OperandWait;
+    if (!pending.empty())
+        return StallReason::MemWait;
+    return StallReason::Idle;
+}
+
+void
+Machine::attributeCycle()
+{
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        StallReason r = firedAt_[id] == now_ ? StallReason::Fired
+                                             : classifyStall(id);
+        auto ri = static_cast<std::size_t>(r);
+        nodeStalls_[id].cycles[ri] += 1;
+        classStalls_[static_cast<std::size_t>(
+            opTraits(graph_.node(id).op).fu)][ri] += 1;
+        auto prev = static_cast<StallReason>(lastReason_[id]);
+        if (config_.trace && prev != r) {
+            if (isTracedStall(prev))
+                config_.trace->onStallEnd(now_, id,
+                                          stallReasonName(prev));
+            if (isTracedStall(r))
+                config_.trace->onStallBegin(now_, id,
+                                            stallReasonName(r));
+        }
+        lastReason_[id] = static_cast<std::uint8_t>(r);
+    }
+}
+
+void
+Machine::attributeSkip(Cycle skipped)
+{
+    // A fast-forward span has no firings and no state changes, so
+    // every node keeps the classification of the cycle before it.
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        auto r = static_cast<StallReason>(lastReason_[id]);
+        // A node classified Fired cannot "stay fired" over idle
+        // cycles: with nothing schedulable it is simply drained.
+        if (r == StallReason::Fired)
+            r = classifyStall(id);
+        auto ri = static_cast<std::size_t>(r);
+        nodeStalls_[id].cycles[ri] += skipped;
+        classStalls_[static_cast<std::size_t>(
+            opTraits(graph_.node(id).op).fu)][ri] += skipped;
+    }
+}
+
+void
+Machine::flushAttribution()
+{
+    // Close any stall interval left open at the end of the run so the
+    // trace has balanced begin/end pairs.
+    if (config_.trace) {
+        for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+            auto r = static_cast<StallReason>(lastReason_[id]);
+            if (isTracedStall(r))
+                config_.trace->onStallEnd(now_, id, stallReasonName(r));
+        }
+    }
+
+    for (std::size_t fu = 0; fu < classStalls_.size(); ++fu) {
+        for (std::size_t ri = 0; ri < kNumStallReasons; ++ri) {
+            if (classStalls_[fu][ri] == 0)
+                continue;
+            result_.stats.counter(formatMessage(
+                "stall.", fuClassKey(static_cast<FuClass>(fu)), ".",
+                stallReasonName(static_cast<StallReason>(ri)))) =
+                classStalls_[fu][ri];
+        }
+    }
+    // Per-node rows only for memory nodes: they are the subjects of
+    // the paper's attribution questions and there are few of them.
+    for (NodeId id : memNodes_) {
+        for (std::size_t ri = 0; ri < kNumStallReasons; ++ri) {
+            if (nodeStalls_[id].cycles[ri] == 0)
+                continue;
+            result_.stats.counter(formatMessage(
+                "stall.node", id, ".",
+                stallReasonName(static_cast<StallReason>(ri)))) =
+                nodeStalls_[id].cycles[ri];
+        }
+    }
+    result_.nodeStalls = std::move(nodeStalls_);
+    result_.nodeMemLatency = std::move(nodeMemLatency_);
 }
 
 void
@@ -446,6 +648,9 @@ Machine::run()
         }
         listNow_.clear();
 
+        if (config_.stallAttribution)
+            attributeCycle();
+
         ++now_;
 
         if (listNext_.empty()) {
@@ -459,6 +664,8 @@ Machine::run()
             while (!wakeups_.empty() && wakeups_.top() <= now_)
                 wakeups_.pop();
             if (in_flight && !wakeups_.empty()) {
+                if (config_.stallAttribution)
+                    attributeSkip(wakeups_.top() - now_);
                 now_ = wakeups_.top();
                 // Queue every memory node with pending responses for
                 // the cycle we jumped to (the next loop iteration).
@@ -494,6 +701,9 @@ Machine::run()
     result_.stats.counter("firings") = result_.firings;
     result_.stats.counter("fabric_cycles") = result_.fabricCycles;
     result_.stats.counter("system_cycles") = result_.systemCycles;
+
+    if (config_.stallAttribution)
+        flushAttribution();
 
     return result_;
 }

@@ -20,13 +20,14 @@
 #ifndef NUPEA_SIM_MACHINE_H
 #define NUPEA_SIM_MACHINE_H
 
+#include <array>
 #include <cstdint>
 #include <deque>
-#include <iosfwd>
 #include <map>
 #include <memory>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.h"
@@ -42,6 +43,53 @@
 
 namespace nupea
 {
+
+class TraceSink;
+
+/**
+ * Why a node did (or did not) fire in one fabric cycle. Every
+ * node-cycle falls into exactly one bucket, so per node
+ * sum(all reasons) == fabricCycles (the conservation identity the
+ * observability tests pin).
+ */
+enum class StallReason : std::uint8_t
+{
+    Fired = 0,         ///< the node fired this cycle
+    OperandWait,       ///< partially supplied: some operand missing
+                       ///< while tokens are queued or state is held
+    Backpressure,      ///< operands ready, a consumer FIFO is full
+    OutstandingCap,    ///< LS node at its in-flight request limit
+    RespUndeliverable, ///< due memory response blocked on credit
+    MemWait,           ///< drained, waiting on an in-flight response
+    Idle,              ///< no tokens, no state, nothing in flight
+};
+
+constexpr std::size_t kNumStallReasons = 7;
+
+/** Printable snake_case reason name (stat-key / trace-event safe). */
+std::string_view stallReasonName(StallReason r);
+
+/** Per-node stall-attribution counters, in fabric cycles. */
+struct NodeStallCounters
+{
+    std::array<std::uint64_t, kNumStallReasons> cycles{};
+
+    std::uint64_t
+    of(StallReason r) const
+    {
+        return cycles[static_cast<std::size_t>(r)];
+    }
+
+    /** Sum over all reasons; equals fabricCycles when attributed. */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t c : cycles)
+            sum += c;
+        return sum;
+    }
+};
 
 /** Full machine configuration. */
 struct MachineConfig
@@ -59,10 +107,18 @@ struct MachineConfig
     /** Energy-accounting cost table. */
     EnergyParams energy;
     /**
-     * Optional firing trace: one line per node firing
-     * ("cycle <n> fire <id> <op> @(r,c)"). Borrowed; may be null.
+     * Classify every not-ready node-cycle into StallReason buckets
+     * (per-node and per-FU-class counters, plus per-node memory
+     * latency distributions). Off by default: attribution scans all
+     * nodes once per simulated cycle, which costs real wall-clock.
      */
-    std::ostream *trace = nullptr;
+    bool stallAttribution = false;
+    /**
+     * Optional structured event trace (see sim/trace.h). Borrowed;
+     * may be null. Stall begin/end events additionally require
+     * stallAttribution; firings and memory events do not.
+     */
+    TraceSink *trace = nullptr;
 };
 
 /** Outcome of one simulation. */
@@ -79,6 +135,19 @@ struct RunResult
     std::string problem;
     StatSet stats;
     EnergyBreakdown energy;
+    /**
+     * Per-node stall attribution, indexed by NodeId. Empty unless
+     * MachineConfig::stallAttribution was set; when present, each
+     * node's counters sum to fabricCycles.
+     */
+    std::vector<NodeStallCounters> nodeStalls;
+    /**
+     * Per-node memory-access latency (system cycles, issue to bank
+     * completion), indexed by NodeId; only memory nodes have samples.
+     * Empty unless stallAttribution was set. Feeds the criticality
+     * cross-validation in compiler/report.h.
+     */
+    std::vector<Distribution> nodeMemLatency;
 };
 
 /**
@@ -125,6 +194,16 @@ class Machine
     void deliverResponses();
     void checkCleanliness();
 
+    /** Why `id` did not fire in the current cycle (attribution on). */
+    StallReason classifyStall(NodeId id) const;
+    /** Classify every node for the just-simulated cycle `now_`. */
+    void attributeCycle();
+    /** Extend every node's last classification over `skipped` cycles
+     *  (fast-forward spans have no state changes by construction). */
+    void attributeSkip(Cycle skipped);
+    /** Export attribution counters into result_ after the run. */
+    void flushAttribution();
+
     const Graph &graph_;
     const Placement &placement_;
     const Topology &topo_;
@@ -157,6 +236,17 @@ class Machine
     /** Worklists for the current and next fabric cycle. */
     std::vector<NodeId> listNow_;
     std::vector<NodeId> listNext_;
+
+    /** @{ Stall attribution (sized only when enabled). */
+    std::vector<NodeStallCounters> nodeStalls_;
+    /** Last classified reason per node (drives trace transitions
+     *  and fast-forward spans). */
+    std::vector<std::uint8_t> lastReason_;
+    std::vector<Distribution> nodeMemLatency_;
+    /** Per-FU-class aggregate counters, flushed into stats. */
+    std::array<std::array<std::uint64_t, kNumStallReasons>, 4>
+        classStalls_{};
+    /** @} */
 
     RunResult result_;
 };

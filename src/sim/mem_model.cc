@@ -30,12 +30,18 @@ struct Stage
 {
     Cycle lastDepart = 0;
     Cycle latency = 1;
+    bool used = false; ///< false until the first item passes
 
     /** Push one item arriving at `t`; returns its departure time. */
     Cycle
     pass(Cycle t)
     {
-        Cycle depart = std::max(t + latency, lastDepart + 1);
+        // An unused stage has no predecessor to contend with: treating
+        // lastDepart=0 as "something departed at 0" would charge the
+        // first-ever item through a latency-0 stage a phantom cycle.
+        Cycle depart =
+            used ? std::max(t + latency, lastDepart + 1) : t + latency;
+        used = true;
         lastDepart = depart;
         return depart;
     }
@@ -58,7 +64,39 @@ class MonacoMemModel : public MemAccessModel
         respArb_.assign(static_cast<std::size_t>(rows * domains),
                         Stage{});
         reqPort_.assign(static_cast<std::size_t>(topo.memPorts()),
-                        Stage{.lastDepart = 0, .latency = 0});
+                        Stage{.latency = 0});
+
+        // Resolve stat handles once: StatSet map references are
+        // stable, and access() is on the simulator's hottest path.
+        reqArbPasses_.assign(static_cast<std::size_t>(domains), nullptr);
+        respArbPasses_.assign(static_cast<std::size_t>(domains),
+                              nullptr);
+        reqArbWait_.assign(static_cast<std::size_t>(domains), nullptr);
+        respArbWait_.assign(static_cast<std::size_t>(domains), nullptr);
+        latencyDomain_.assign(static_cast<std::size_t>(domains),
+                              nullptr);
+        for (int d = 1; d < domains; ++d) {
+            std::size_t i = static_cast<std::size_t>(d);
+            reqArbPasses_[i] =
+                &stats_.counter(formatMessage("req_arb_passes_d", d));
+            respArbPasses_[i] =
+                &stats_.counter(formatMessage("resp_arb_passes_d", d));
+            reqArbWait_[i] =
+                &stats_.dist(formatMessage("req_arb_wait_d", d));
+            respArbWait_[i] =
+                &stats_.dist(formatMessage("resp_arb_wait_d", d));
+        }
+        for (int d = 0; d < domains; ++d)
+            latencyDomain_[static_cast<std::size_t>(d)] =
+                &stats_.dist(formatMessage("latency_domain", d));
+        portPasses_.assign(reqPort_.size(), nullptr);
+        for (std::size_t p = 0; p < reqPort_.size(); ++p)
+            portPasses_[p] =
+                &stats_.counter(formatMessage("port_passes_p", p));
+        portWait_ = &stats_.dist("port_wait");
+        reqNetDelay_ = &stats_.dist("req_network_delay");
+        respNetDelay_ = &stats_.dist("resp_network_delay");
+        latencyTotal_ = &stats_.dist("latency_total");
     }
 
     MemAccessOutcome
@@ -87,39 +125,58 @@ class MonacoMemModel : public MemAccessModel
         // (domain d goes through arbiters d, d-1, ..., 1).
         Cycle t = issue;
         if (!local) {
-            for (int d = domain; d >= 1; --d)
-                t = arb(reqArb_, ls_row, d).pass(t);
+            for (int d = domain; d >= 1; --d) {
+                Cycle in = t;
+                Stage &stage = arb(reqArb_, ls_row, d);
+                t = stage.pass(in);
+                std::size_t i = static_cast<std::size_t>(d);
+                *reqArbPasses_[i] += 1;
+                reqArbWait_[i]->sample(
+                    static_cast<double>(t - in - stage.latency));
+            }
 
             // Port stage: D0 tiles on the shared column and all
             // arbitrated traffic contend for the shared port; other
             // D0 tiles own their port.
             int port = topo_.portOf(tile);
-            t = reqPort_[static_cast<std::size_t>(port)].pass(t);
-        }
+            Cycle in = t;
+            t = reqPort_[static_cast<std::size_t>(port)].pass(in);
+            *portPasses_[static_cast<std::size_t>(port)] += 1;
+            portWait_->sample(static_cast<double>(t - in));
 
-        if (t > issue)
-            stats_.dist("req_network_delay").sample(
-                static_cast<double>(t - issue));
+            // Every non-local request is one sample, zero-delay ones
+            // included — gating on t > issue would skew the mean up.
+            reqNetDelay_->sample(static_cast<double>(t - issue));
+        }
 
         MemAccessResult bank = memsys_.access(addr, is_store, data, t);
 
         // Response path mirrors the request arbitration distance.
         Cycle r = bank.completeAt;
         if (!local) {
-            for (int d = 1; d <= domain; ++d)
-                r = arb(respArb_, ls_row, d).pass(r);
+            for (int d = 1; d <= domain; ++d) {
+                Cycle in = r;
+                Stage &stage = arb(respArb_, ls_row, d);
+                r = stage.pass(in);
+                std::size_t i = static_cast<std::size_t>(d);
+                *respArbPasses_[i] += 1;
+                respArbWait_[i]->sample(
+                    static_cast<double>(r - in - stage.latency));
+            }
+            respNetDelay_->sample(
+                static_cast<double>(r - bank.completeAt));
         }
 
-        stats_.dist("latency_total").sample(
+        latencyTotal_->sample(static_cast<double>(r - issue));
+        latencyDomain_[static_cast<std::size_t>(domain)]->sample(
             static_cast<double>(r - issue));
-        stats_.dist(formatMessage("latency_domain", domain))
-            .sample(static_cast<double>(r - issue));
 
         MemAccessOutcome out;
         out.completeAt = r;
         out.hit = bank.hit;
         out.data = bank.data;
         out.domain = domain;
+        out.local = local;
         return out;
     }
 
@@ -147,6 +204,19 @@ class MonacoMemModel : public MemAccessModel
     std::vector<Stage> reqArb_;
     std::vector<Stage> respArb_;
     std::vector<Stage> reqPort_;
+
+    /** @{ Cached stat handles (see constructor). */
+    std::vector<std::uint64_t *> reqArbPasses_;
+    std::vector<std::uint64_t *> respArbPasses_;
+    std::vector<Distribution *> reqArbWait_;
+    std::vector<Distribution *> respArbWait_;
+    std::vector<std::uint64_t *> portPasses_;
+    std::vector<Distribution *> latencyDomain_;
+    Distribution *portWait_ = nullptr;
+    Distribution *reqNetDelay_ = nullptr;
+    Distribution *respNetDelay_ = nullptr;
+    Distribution *latencyTotal_ = nullptr;
+    /** @} */
 };
 
 /** Uniform-PE-access baseline: fixed N-fabric-cycle path delay. */
@@ -240,6 +310,7 @@ class NumaUpeaMemModel : public MemAccessModel
         out.hit = bank.hit;
         out.data = bank.data;
         out.domain = domainOfTile(tile);
+        out.local = local;
         return out;
     }
 

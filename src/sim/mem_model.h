@@ -70,6 +70,9 @@ struct MemAccessOutcome
     bool hit = false;
     Word data = 0;
     int domain = -1; ///< NUPEA (or NUMA) domain charged
+    /** The access stayed in the issuing PE's NUMA domain / row group
+     *  and paid no network stages (NumaUpea and NupeaNuma only). */
+    bool local = false;
 };
 
 /** Common parameters for the access models. */

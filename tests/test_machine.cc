@@ -11,6 +11,7 @@
 
 #include "compiler/pnr.h"
 #include "sim/machine.h"
+#include "sim/trace.h"
 #include "test_support.h"
 
 namespace nupea
@@ -357,7 +358,8 @@ TEST(Machine, TraceRecordsFirings)
     auto k = buildArraySum(base, 4);
     MachineConfig cfg;
     std::ostringstream trace;
-    cfg.trace = &trace;
+    TextTraceSink sink(trace);
+    cfg.trace = &sink;
     RunResult r = compileAndRun(k.graph, store, cfg);
     EXPECT_TRUE(r.clean) << r.problem;
     std::string out = trace.str();

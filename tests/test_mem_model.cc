@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/log.h"
 #include "memory/memsys.h"
 #include "sim/mem_model.h"
 
@@ -208,6 +209,112 @@ TEST(NumaModel, StatsCountLocality)
               16u);
     // Line-interleaved across 4 domains: exactly 1/4 local.
     EXPECT_EQ(s.counterValue("local_accesses"), 4u);
+}
+
+TEST(MonacoModel, ReqNetworkDelayCountsEveryRequest)
+{
+    // Regression: zero-delay requests (e.g. an uncontended D0 port
+    // pass) used to be dropped from req_network_delay, inflating its
+    // mean. Every request on the non-local path is one sample.
+    ModelFixture f(MemModel::Monaco);
+    for (int d = 0; d < 4; ++d) {
+        f.impl->access(f.tileInDomain(d), 0x100, false, 0,
+                       1000u * static_cast<Cycle>(d + 1));
+    }
+    Distribution &net = f.impl->stats().dist("req_network_delay");
+    EXPECT_EQ(net.count(), 4u);
+    // The uncontended D0 request is the zero-delay sample.
+    EXPECT_EQ(net.min(), 0.0);
+}
+
+TEST(MonacoModel, FirstCycleZeroPortAccessHasNoPhantomDelay)
+{
+    // Regression: the lastDepart=0 sentinel charged the first-ever
+    // item through a latency-0 port stage a phantom contention cycle
+    // (depart max(t,1)). A cold access at t=0 and at t=1000 on fresh
+    // models must see identical latency.
+    ModelFixture early(MemModel::Monaco);
+    ModelFixture late(MemModel::Monaco);
+    Coord d0 = early.tileInDomain(0);
+    auto a = early.impl->access(d0, 0x100, false, 0, 0);
+    auto b = late.impl->access(d0, 0x100, false, 0, 1000);
+    EXPECT_EQ(a.completeAt, b.completeAt - 1000);
+    EXPECT_EQ(early.impl->stats().dist("port_wait").max(), 0.0);
+    EXPECT_EQ(early.impl->stats().dist("req_network_delay").max(), 0.0);
+}
+
+TEST(MonacoModel, ArbiterAndPortOccupancyStats)
+{
+    ModelFixture f(MemModel::Monaco);
+    Coord d2 = f.tileInDomain(2);
+    f.impl->access(d2, 0x100, false, 0, 0);
+    f.impl->access(d2, 0x100, false, 0, 1000);
+    StatSet &s = f.impl->stats();
+    // Each domain-2 request passes arbiters 2 and 1 (and back), plus
+    // one port stage.
+    EXPECT_EQ(s.counterValue("req_arb_passes_d1"), 2u);
+    EXPECT_EQ(s.counterValue("req_arb_passes_d2"), 2u);
+    EXPECT_EQ(s.counterValue("resp_arb_passes_d1"), 2u);
+    EXPECT_EQ(s.counterValue("resp_arb_passes_d2"), 2u);
+    EXPECT_EQ(s.dist("port_wait").count(), 2u);
+    int port = f.topo.portOf(d2);
+    EXPECT_EQ(s.counterValue(formatMessage("port_passes_p", port)), 2u);
+    // Far apart in time: no queueing anywhere.
+    EXPECT_EQ(s.dist("req_arb_wait_d1").max(), 0.0);
+    EXPECT_EQ(s.dist("resp_arb_wait_d1").max(), 0.0);
+}
+
+TEST(MonacoModel, ContendedArbiterRecordsQueueingWait)
+{
+    ModelFixture f(MemModel::Monaco);
+    Coord a{1, 3}, b{1, 4}; // same LS row, both domain 1
+    f.impl->access(a, 0x100, false, 0, 0);  // warm
+    f.impl->access(b, 0x2120, false, 0, 0); // warm
+    f.impl->access(a, 0x100, false, 0, 500);
+    f.impl->access(b, 0x2120, false, 0, 500);
+    // The second same-cycle request queues one cycle at the D1
+    // arbiter.
+    EXPECT_EQ(f.impl->stats().dist("req_arb_wait_d1").max(), 1.0);
+}
+
+TEST(NupeaNumaModel, NetworkDelaySamplesOnlyRemote)
+{
+    ModelFixture f(MemModel::NupeaNuma);
+    Coord d0 = f.tileInDomain(0);
+    int local = 0;
+    for (int i = 0; i < 16; ++i) {
+        auto out = f.impl->access(
+            d0, static_cast<Addr>(0x4000 + 32 * i), false, 0,
+            100u * static_cast<Cycle>(i));
+        local += out.local ? 1 : 0;
+    }
+    StatSet &s = f.impl->stats();
+    // Local accesses bypass the network entirely, so the request
+    // network-delay distribution samples exactly the remote ones.
+    EXPECT_EQ(s.counterValue("local_accesses"),
+              static_cast<std::uint64_t>(local));
+    EXPECT_GT(local, 0);
+    EXPECT_EQ(s.dist("req_network_delay").count(),
+              s.counterValue("remote_accesses"));
+    EXPECT_EQ(s.counterValue("local_accesses") +
+                  s.counterValue("remote_accesses"),
+              16u);
+}
+
+TEST(NumaModel, LocalFlagMatchesLocalityCounters)
+{
+    ModelFixture f(MemModel::NumaUpea, 2);
+    Coord tile{1, 0};
+    int local = 0;
+    for (int i = 0; i < 16; ++i) {
+        auto out = f.impl->access(
+            tile, static_cast<Addr>(0x4000 + 32 * i), false, 0,
+            100u * static_cast<Cycle>(i));
+        local += out.local ? 1 : 0;
+    }
+    EXPECT_EQ(f.impl->stats().counterValue("local_accesses"),
+              static_cast<std::uint64_t>(local));
+    EXPECT_EQ(local, 4); // line-interleaved across 4 domains
 }
 
 TEST(ModelNames, Printable)

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the stall-attribution and structured-tracing subsystem:
+ * the per-node conservation identity (fired + stalled-by-reason +
+ * idle == fabricCycles), the per-FU-class stat export, Chrome
+ * trace_event well-formedness, the criticality-rank cross-validation
+ * hook, and the NUMA-UPEA local-access energy accounting fix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/log.h"
+#include "compiler/report.h"
+#include "sim/trace.h"
+
+namespace nupea
+{
+namespace
+{
+
+using bench::BenchRun;
+using bench::CompileOptions;
+using bench::CompiledWorkload;
+using bench::compileWorkload;
+using bench::primaryConfig;
+using bench::runCompiled;
+
+/** One shared compiled workload; compilation dominates test time. */
+const CompiledWorkload &
+dmv()
+{
+    static const CompiledWorkload cw = compileWorkload(
+        "dmv", Topology::makeMonaco(12, 12), CompileOptions{});
+    return cw;
+}
+
+BenchRun
+runAttributed(MachineConfig cfg)
+{
+    cfg.stallAttribution = true;
+    return runCompiled(dmv(), cfg);
+}
+
+std::size_t
+countOccurrences(const std::string &text, const std::string &needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = text.find(needle);
+         pos != std::string::npos; pos = text.find(needle, pos + 1))
+        ++n;
+    return n;
+}
+
+TEST(StallAttribution, ConservationIdentityHoldsPerNode)
+{
+    BenchRun run = runAttributed(primaryConfig(MemModel::Monaco, 0));
+    ASSERT_EQ(run.nodeStalls.size(),
+              static_cast<std::size_t>(dmv().graph.numNodes()));
+    std::uint64_t fired = 0;
+    for (NodeId id = 0; id < dmv().graph.numNodes(); ++id) {
+        EXPECT_EQ(run.nodeStalls[id].total(), run.fabricCycles)
+            << "node " << id;
+        fired += run.nodeStalls[id].of(StallReason::Fired);
+    }
+    EXPECT_EQ(fired, run.firings);
+}
+
+TEST(StallAttribution, ClassCountersCoverEveryNodeCycle)
+{
+    BenchRun run = runAttributed(primaryConfig(MemModel::Monaco, 0));
+    std::uint64_t total = 0;
+    for (const char *cls : {"arith", "control", "mem", "xdata"}) {
+        for (std::size_t ri = 0; ri < kNumStallReasons; ++ri) {
+            total += run.stats.counterValue(formatMessage(
+                "stall.", cls, ".",
+                stallReasonName(static_cast<StallReason>(ri))));
+        }
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(dmv().graph.numNodes()) *
+                         run.fabricCycles);
+}
+
+TEST(StallAttribution, DoesNotPerturbSimulatedTiming)
+{
+    BenchRun plain = runCompiled(dmv(), primaryConfig(MemModel::Monaco, 0));
+    BenchRun attr = runAttributed(primaryConfig(MemModel::Monaco, 0));
+    EXPECT_EQ(plain.fabricCycles, attr.fabricCycles);
+    EXPECT_EQ(plain.systemCycles, attr.systemCycles);
+    EXPECT_EQ(plain.firings, attr.firings);
+    EXPECT_TRUE(attr.verified);
+}
+
+TEST(StallAttribution, DeterministicAcrossRuns)
+{
+    BenchRun a = runAttributed(primaryConfig(MemModel::Monaco, 0));
+    BenchRun b = runAttributed(primaryConfig(MemModel::Monaco, 0));
+    ASSERT_EQ(a.nodeStalls.size(), b.nodeStalls.size());
+    for (std::size_t id = 0; id < a.nodeStalls.size(); ++id)
+        EXPECT_EQ(a.nodeStalls[id].cycles, b.nodeStalls[id].cycles)
+            << "node " << id;
+}
+
+TEST(StallAttribution, MemoryNodesRecordLatencySamples)
+{
+    BenchRun run = runAttributed(primaryConfig(MemModel::Monaco, 0));
+    ASSERT_EQ(run.nodeMemLatency.size(),
+              static_cast<std::size_t>(dmv().graph.numNodes()));
+    std::uint64_t samples = 0;
+    for (const Distribution &d : run.nodeMemLatency)
+        samples += d.count();
+    EXPECT_EQ(samples, run.loads + run.stores);
+}
+
+TEST(ChromeTrace, WellFormedAndCountsFirings)
+{
+    std::ostringstream os;
+    ChromeTraceSink sink(os);
+    MachineConfig cfg = primaryConfig(MemModel::Monaco, 0);
+    cfg.stallAttribution = true;
+    cfg.trace = &sink;
+    BenchRun run = runCompiled(dmv(), cfg);
+    sink.finish();
+
+    std::string text = os.str();
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_EQ(text.substr(text.size() - 3), "]}\n");
+    EXPECT_EQ(countOccurrences(text, "\"cat\": \"fire\""), run.firings);
+    // Every stall interval opened is closed.
+    EXPECT_EQ(countOccurrences(text, "\"ph\": \"B\""),
+              countOccurrences(text, "\"ph\": \"E\""));
+    // Memory requests: one complete event + one delivery instant per
+    // access.
+    EXPECT_EQ(countOccurrences(text, "\"ph\": \"X\""),
+              run.loads + run.stores);
+}
+
+TEST(CritRankValidation, MonacoMeasurementMatchesPrediction)
+{
+    BenchRun run = runAttributed(primaryConfig(MemModel::Monaco, 0));
+    CritRankValidation v =
+        validateCriticalityRanks(dmv().graph, run.nodeMemLatency);
+    EXPECT_FALSE(v.classes.empty());
+    EXPECT_TRUE(v.rankConsistent) << v.table;
+    EXPECT_NE(v.table.find("criticality rank validation"),
+              std::string::npos);
+}
+
+TEST(CritRankValidation, EmptyMeasurementIsVacuouslyConsistent)
+{
+    CritRankValidation v = validateCriticalityRanks(dmv().graph, {});
+    EXPECT_TRUE(v.rankConsistent);
+    for (const CritClassLatency &row : v.classes)
+        EXPECT_EQ(row.samples, 0u);
+}
+
+TEST(NumaEnergy, AllLocalMapMatchesNoNetworkBaseline)
+{
+    // With one NUMA domain every access is local. Local accesses pay
+    // zero network delay, so they must also be charged zero network
+    // stages of energy: the run must match a UPEA-0 (no network)
+    // baseline in both timing and energy, despite upeaLatency=4.
+    MachineConfig numa = primaryConfig(MemModel::NumaUpea, 4);
+    numa.mem.numaDomains = 1;
+    MachineConfig base = primaryConfig(MemModel::Upea, 0);
+    BenchRun a = runCompiled(dmv(), numa);
+    BenchRun b = runCompiled(dmv(), base);
+    EXPECT_EQ(a.fabricCycles, b.fabricCycles);
+    EXPECT_EQ(a.systemCycles, b.systemCycles);
+    EXPECT_DOUBLE_EQ(a.energy.memory, b.energy.memory);
+    EXPECT_DOUBLE_EQ(a.energy.total(), b.energy.total());
+}
+
+} // namespace
+} // namespace nupea
