@@ -7,11 +7,38 @@
 
 #include "common/log.h"
 #include "compiler/report.h"
+#include "verify/verify.h"
 
 namespace nupea
 {
 namespace bench
 {
+
+namespace
+{
+
+/** Gate a fresh compilation on the static verifier. */
+void
+verifyOrDie(const CompiledWorkload &cw)
+{
+    DiagnosticReport report =
+        verifyCompiled(cw.graph, cw.topo, cw.pnr);
+    for (const Diagnostic &d : report.diags()) {
+        if (d.severity == Severity::Warning)
+            warn(cw.workload->name(), ": verify: ", diagIdName(d.id),
+                 d.node != kInvalidId
+                     ? formatMessage(" node ", d.node, ": ")
+                     : std::string(": "),
+                 d.message);
+    }
+    if (report.hasErrors()) {
+        fatal(cw.workload->name(), " failed static verification (",
+              report.errorCount(), " errors; pass --no-verify to run "
+              "anyway):\n", report.renderText());
+    }
+}
+
+} // namespace
 
 CompiledWorkload
 compileWorkload(const std::string &name, const Topology &topo,
@@ -46,6 +73,8 @@ compileWorkload(const std::string &name, const Topology &topo,
                 cw.graph = std::move(g);
                 cw.pnr = std::move(pnr);
                 cw.parallelism = p;
+                if (options.verify)
+                    verifyOrDie(cw);
                 return cw;
             }
         }
@@ -59,6 +88,8 @@ compileWorkload(const std::string &name, const Topology &topo,
     cw.graph = std::move(auto_par.graph);
     cw.pnr = std::move(auto_par.pnr);
     cw.parallelism = auto_par.parallelism;
+    if (options.verify)
+        verifyOrDie(cw);
     return cw;
 }
 

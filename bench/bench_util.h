@@ -53,6 +53,13 @@ struct CompileOptions
      * -1 forces the automatic ramp (paper Sec. 6).
      */
     int parallelism = 0;
+    /**
+     * Run the static verifier (verify/verify.h) over the graph and
+     * PnR output after compilation: fatal() on any error diagnostic,
+     * warn() on warnings. On by default; `--no-verify` in the sweep
+     * harness clears it.
+     */
+    bool verify = true;
 };
 
 /**

@@ -78,6 +78,10 @@ parseSweepArgs(int argc, char **argv)
             opts.traceDir = argv[++i];
         } else if (arg.rfind("--trace-out=", 0) == 0) {
             opts.traceDir = arg.substr(12);
+        } else if (arg == "--verify") {
+            opts.verify = true;
+        } else if (arg == "--no-verify") {
+            opts.verify = false;
         }
     }
     return opts;
@@ -330,9 +334,12 @@ compileAll(SweepRunner &runner, const std::vector<CompileSpec> &specs)
 {
     std::vector<std::function<CompiledWorkload()>> tasks;
     tasks.reserve(specs.size());
+    bool verify = runner.options().verify;
     for (const CompileSpec &spec : specs) {
-        tasks.push_back([&spec]() {
-            return compileWorkload(spec.name, spec.topo, spec.options);
+        tasks.push_back([&spec, verify]() {
+            CompileOptions options = spec.options;
+            options.verify = options.verify && verify;
+            return compileWorkload(spec.name, spec.topo, options);
         });
     }
     return runner.map(std::move(tasks));

@@ -57,6 +57,9 @@ struct SweepOptions
      *  into this directory (implies stall attribution, so the traces
      *  carry stall intervals). */
     std::string traceDir;
+    /** Run the static verifier on every compilation (`--verify`, the
+     *  default; `--no-verify` clears it). */
+    bool verify = true;
 
     /** Any observability feature requested? */
     bool
@@ -70,8 +73,9 @@ struct SweepOptions
 int defaultJobs();
 
 /**
- * Parse --jobs N / --jobs=N / -j N / -jN, --stall-report, and
- * --trace-out DIR / --trace-out=DIR (other args are ignored).
+ * Parse --jobs N / --jobs=N / -j N / -jN, --stall-report,
+ * --trace-out DIR / --trace-out=DIR, and --verify / --no-verify
+ * (other args are ignored).
  */
 SweepOptions parseSweepArgs(int argc, char **argv);
 

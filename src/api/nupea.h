@@ -9,7 +9,10 @@
  *      Clustered-Double, at any size / NoC track budget.
  *   3. Compile with placeAndRoute() (compiler/pnr.h) — criticality
  *      analysis, NUPEA-aware placement, routing, static timing.
- *   4. Simulate with Machine (sim/machine.h) under the Monaco, UPEA,
+ *   4. Verify the graph and PnR output with verifyGraph() /
+ *      verifyCompiled() (verify/verify.h) — structural, token-rate,
+ *      and placement/routing legality diagnostics.
+ *   5. Simulate with Machine (sim/machine.h) under the Monaco, UPEA,
  *      or NUMA-UPEA memory model.
  */
 
@@ -37,6 +40,11 @@
 #include "memory/memsys.h"
 #include "sim/machine.h"
 #include "sim/mem_model.h"
+#include "verify/diagnostics.h"
+#include "verify/legality.h"
+#include "verify/rates.h"
+#include "verify/structural.h"
+#include "verify/verify.h"
 #include "workloads/workload.h"
 
 #endif // NUPEA_API_NUPEA_H

@@ -7,6 +7,18 @@ namespace nupea
 
 Builder::Builder() = default;
 
+Graph
+Builder::takeGraph()
+{
+    if (!scopes_.empty()) {
+        fatal("takeGraph() with ", scopes_.size(), " loop scope(s) "
+              "still open; it must run after whileLoop/forLoop return, "
+              "not inside a body callback");
+    }
+    graph_.validateOrDie();
+    return std::move(graph_);
+}
+
 NodeId
 Builder::addNode(Op op, int ninputs, std::string name)
 {
@@ -69,7 +81,8 @@ Builder::repeatInto(Scope &scope, NodeId src, bool gated)
 NodeId
 Builder::use(Value v)
 {
-    NUPEA_ASSERT(v.valid(), "use of an invalid Value");
+    if (!v.valid())
+        fatal("use of an invalid (default-constructed) Value");
     if (scopes_.empty()) {
         if (v.scope != 0)
             fatal("loop-local value used at top level");
@@ -119,7 +132,8 @@ Builder::source(Word value, std::string name)
 Builder::Value
 Builder::binary(Op op, Value a, Value b, std::string name)
 {
-    NUPEA_ASSERT(opIsBinaryArith(op), "binary() with non-binary op");
+    if (!opIsBinaryArith(op))
+        fatal("binary() with non-binary op ", opName(op));
     NodeId an = use(a);
     NodeId bn = use(b);
     NodeId id = addNode(op, 2, std::move(name));
@@ -131,7 +145,8 @@ Builder::binary(Op op, Value a, Value b, std::string name)
 Builder::Value
 Builder::binary(Op op, Value a, Word b, std::string name)
 {
-    NUPEA_ASSERT(opIsBinaryArith(op), "binary() with non-binary op");
+    if (!opIsBinaryArith(op))
+        fatal("binary() with non-binary op ", opName(op));
     NodeId an = use(a);
     NodeId id = addNode(op, 2, std::move(name));
     graph_.connect(id, 0, an);
@@ -142,7 +157,8 @@ Builder::binary(Op op, Value a, Word b, std::string name)
 Builder::Value
 Builder::binary(Op op, Word a, Value b, std::string name)
 {
-    NUPEA_ASSERT(opIsBinaryArith(op), "binary() with non-binary op");
+    if (!opIsBinaryArith(op))
+        fatal("binary() with non-binary op ", opName(op));
     NodeId bn = use(b);
     NodeId id = addNode(op, 2, std::move(name));
     graph_.setImm(id, 0, a);
@@ -220,7 +236,8 @@ std::vector<Builder::Value>
 Builder::whileLoop(const std::vector<Value> &inits, const CondFn &cond,
                    const BodyFn &body, std::string name)
 {
-    NUPEA_ASSERT(!inits.empty(), "a loop needs at least one carried value");
+    if (inits.empty())
+        fatal("a loop needs at least one carried value");
 
     // Resolve inits at the enclosing scope's rate.
     std::vector<NodeId> init_ids;
@@ -292,9 +309,10 @@ Builder::whileLoop(const std::vector<Value> &inits, const CondFn &cond,
 
     // Build the body and close the back edges.
     std::vector<Value> next = body(*this, body_in);
-    NUPEA_ASSERT(next.size() == merges.size(),
-                 "body returned ", next.size(), " values for ",
-                 merges.size(), " carried");
+    if (next.size() != merges.size()) {
+        fatal("loop body returned ", next.size(), " values for ",
+              merges.size(), " carried");
+    }
     for (std::size_t i = 0; i < merges.size(); ++i)
         graph_.connect(merges[i], 1, use(next[i]));
 
@@ -319,9 +337,10 @@ Builder::forLoop(Value begin, Value end, Word step,
         [&](Builder &b, const std::vector<Value> &cur) {
             std::vector<Value> extra(cur.begin() + 1, cur.end());
             std::vector<Value> next = body(b, cur[0], extra);
-            NUPEA_ASSERT(next.size() == carried.size(),
-                         "for-loop body returned ", next.size(),
-                         " values for ", carried.size(), " carried");
+            if (next.size() != carried.size()) {
+                fatal("for-loop body returned ", next.size(),
+                      " values for ", carried.size(), " carried");
+            }
             std::vector<Value> out;
             out.push_back(b.add(cur[0], step));
             out.insert(out.end(), next.begin(), next.end());

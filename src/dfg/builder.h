@@ -68,8 +68,13 @@ class Builder
     Graph &graph() { return graph_; }
     const Graph &graph() const { return graph_; }
 
-    /** Move the finished graph out of the builder. */
-    Graph takeGraph() { return std::move(graph_); }
+    /**
+     * Move the finished graph out of the builder. Fatals if a loop
+     * scope is still open (takeGraph() inside a body callback) or if
+     * the graph fails Graph::validate() — builder misuse surfaces
+     * here as a catchable FatalError rather than at simulation time.
+     */
+    Graph takeGraph();
 
     /** A program argument: emits `value` once at program start. */
     Value source(Word value, std::string name = "");

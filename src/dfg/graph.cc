@@ -140,24 +140,32 @@ Graph::validate() const
 {
     std::vector<std::string> problems;
 
+    // "node 7 'phi0' (LoopMerge)" when a debug name exists.
+    auto label = [this](NodeId id) {
+        const Node &n = nodes_[id];
+        return n.name.empty()
+                   ? formatMessage("node ", id, " (", opName(n.op), ")")
+                   : formatMessage("node ", id, " '", n.name, "' (",
+                                   opName(n.op), ")");
+    };
+
     for (NodeId id = 0; id < nodes_.size(); ++id) {
         const Node &n = nodes_[id];
         const OpTraits &traits = opTraits(n.op);
         if (n.inputs.size() < traits.minInputs ||
             n.inputs.size() > traits.maxInputs) {
-            problems.push_back(formatMessage("node ", id, " (", traits.name,
-                                             "): bad input count ",
+            problems.push_back(formatMessage(label(id),
+                                             ": bad input count ",
                                              n.inputs.size()));
             continue;
         }
         for (std::size_t p = 0; p < n.inputs.size(); ++p) {
             const InputConn &in = n.inputs[p];
             if (!in.connected()) {
-                problems.push_back(formatMessage("node ", id, " (",
-                                                 traits.name, ") port ", p,
+                problems.push_back(formatMessage(label(id), " port ", p,
                                                  " unconnected"));
             } else if (!in.isImm && in.src >= nodes_.size()) {
-                problems.push_back(formatMessage("node ", id, " port ", p,
+                problems.push_back(formatMessage(label(id), " port ", p,
                                                  " references bad node ",
                                                  in.src));
             }
@@ -166,8 +174,8 @@ Graph::validate() const
         // or never take the back edge; likewise for steers that drop.
         if (n.op == Op::LoopMerge && n.inputs.size() == 3 &&
             n.inputs[2].isImm) {
-            problems.push_back(
-                formatMessage("node ", id, ": merge ctrl is an immediate"));
+            problems.push_back(formatMessage(
+                label(id), ": merge ctrl is an immediate"));
         }
     }
 
@@ -201,8 +209,8 @@ Graph::validate() const
             !comp_reported[comp]) {
             comp_reported[comp] = true;
             problems.push_back(formatMessage(
-                "combinational cycle through node ", id, " (",
-                opName(nodes_[id].op), ") with no merge"));
+                "combinational cycle through ", label(id),
+                " with no merge"));
         }
     }
 

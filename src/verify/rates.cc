@@ -1,0 +1,437 @@
+#include "verify/rates.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/scc.h"
+
+namespace nupea
+{
+
+namespace
+{
+
+/** Symbolic firing rate; see rates.h for the algebra. */
+struct Rate
+{
+    enum class Kind : std::uint8_t { Unknown, Once, Body, Cond };
+
+    Kind kind = Kind::Unknown;
+    NodeId decider = kInvalidId;
+
+    bool known() const { return kind != Kind::Unknown; }
+    bool operator==(const Rate &) const = default;
+
+    static Rate once() { return {Kind::Once, kInvalidId}; }
+    static Rate body(NodeId d) { return {Kind::Body, d}; }
+    static Rate cond(NodeId d) { return {Kind::Cond, d}; }
+};
+
+std::string
+rateStr(const Graph &graph, Rate r)
+{
+    auto deciderStr = [&](NodeId d) {
+        std::string s = formatMessage("node ", d);
+        if (d < graph.numNodes() && !graph.node(d).name.empty())
+            s += formatMessage(" '", graph.node(d).name, "'");
+        return s;
+    };
+    switch (r.kind) {
+      case Rate::Kind::Unknown: return "unknown";
+      case Rate::Kind::Once: return "once";
+      case Rate::Kind::Body:
+        return formatMessage("body(", deciderStr(r.decider), ")");
+      case Rate::Kind::Cond:
+        return formatMessage("cond(", deciderStr(r.decider), ")");
+    }
+    return "?";
+}
+
+/** Valid non-imm producer of `n`'s port `p`, or kInvalidId. */
+NodeId
+portSrc(const Graph &graph, const Node &n, std::size_t p)
+{
+    if (p >= n.inputs.size())
+        return kInvalidId;
+    const InputConn &in = n.inputs[p];
+    if (in.isImm || in.src == kInvalidId || in.src >= graph.numNodes())
+        return kInvalidId;
+    return in.src;
+}
+
+class RateAnalysis
+{
+  public:
+    RateAnalysis(const Graph &graph, DiagnosticReport &report)
+        : graph_(graph), report_(report),
+          rate_(graph.numNodes())
+    {
+    }
+
+    void run()
+    {
+        collectDeciders();
+        solve();
+        reportAllImm();
+        reportPortRates();
+        reportPerDecider();
+        reportMixedDeciders();
+        reportDeadlockCycles();
+    }
+
+  private:
+    bool isDecider(NodeId id) const
+    {
+        return merges_of_.count(id) != 0;
+    }
+
+    /** Decider steering this node's ctrl port, or kInvalidId. */
+    NodeId ctrlDecider(const Node &n) const
+    {
+        std::size_t ctrl_port = n.op == Op::LoopMerge ? 2 : n.op == Op::Invariant ||
+                n.op == Op::InvariantGated ? 1 : 0;
+        NodeId src = portSrc(graph_, n, ctrl_port);
+        if (src == kInvalidId)
+            return kInvalidId;
+        if (n.op == Op::LoopMerge)
+            return src; // the ctrl source *defines* the decider
+        return isDecider(src) ? src : kInvalidId;
+    }
+
+    void collectDeciders()
+    {
+        for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+            const Node &n = graph_.node(id);
+            if (n.op != Op::LoopMerge)
+                continue;
+            NodeId d = portSrc(graph_, n, 2);
+            if (d != kInvalidId)
+                merges_of_[d].push_back(id);
+        }
+    }
+
+    /** Rate a decider's loop is invoked at: the rate of its merges'
+     *  non-imm init inputs. All-imm inits mean a top-level loop. */
+    Rate invokeRate(NodeId decider) const
+    {
+        auto it = merges_of_.find(decider);
+        if (it == merges_of_.end())
+            return {};
+        bool any_wired = false;
+        for (NodeId m : it->second) {
+            NodeId init = portSrc(graph_, graph_.node(m), 0);
+            if (init == kInvalidId)
+                continue;
+            any_wired = true;
+            if (rate_[init].known())
+                return rate_[init];
+        }
+        return any_wired ? Rate{} : Rate::once();
+    }
+
+    bool allInputsImm(const Node &n) const
+    {
+        if (n.inputs.empty())
+            return false;
+        for (const InputConn &in : n.inputs) {
+            if (!in.isImm)
+                return false;
+        }
+        return true;
+    }
+
+    /** What this node emits, given current input rates (monotone). */
+    Rate transfer(NodeId id) const
+    {
+        const Node &n = graph_.node(id);
+        switch (n.op) {
+          case Op::Source:
+            return Rate::once();
+          case Op::LoopMerge: {
+            NodeId d = ctrlDecider(n);
+            return d == kInvalidId ? Rate{} : Rate::cond(d);
+          }
+          case Op::Invariant: {
+            NodeId d = ctrlDecider(n);
+            return d == kInvalidId ? Rate{} : Rate::cond(d);
+          }
+          case Op::InvariantGated: {
+            NodeId d = ctrlDecider(n);
+            return d == kInvalidId ? Rate{} : Rate::body(d);
+          }
+          case Op::SteerTrue: {
+            NodeId d = ctrlDecider(n);
+            return d == kInvalidId ? Rate{} : Rate::body(d);
+          }
+          case Op::SteerFalse: {
+            NodeId d = ctrlDecider(n);
+            return d == kInvalidId ? Rate{} : invokeRate(d);
+          }
+          default: {
+            // Plain ops fire once per full input set: the output rate
+            // is the (common) input rate. Known-rate disagreements
+            // are reported later; propagate the first known rate so
+            // downstream nodes still resolve.
+            if (allInputsImm(n))
+                return {};
+            Rate out;
+            for (std::size_t p = 0; p < n.inputs.size(); ++p) {
+                NodeId src = portSrc(graph_, n, p);
+                if (src == kInvalidId)
+                    continue;
+                if (!rate_[src].known())
+                    return {};
+                if (!out.known())
+                    out = rate_[src];
+            }
+            return out;
+          }
+        }
+    }
+
+    void solve()
+    {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+                if (rate_[id].known())
+                    continue;
+                Rate r = transfer(id);
+                if (r.known()) {
+                    rate_[id] = r;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    void reportAllImm()
+    {
+        for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+            const Node &n = graph_.node(id);
+            if (n.op != Op::Source && allInputsImm(n)) {
+                report_.addNode(
+                    DiagId::RateAllImm, graph_, id,
+                    formatMessage(opName(n.op),
+                                  " has only immediate inputs; it is "
+                                  "always ready and fires unboundedly"));
+            }
+        }
+    }
+
+    /** Prove-a-disagreement check for one port. */
+    void expectPortRate(NodeId id, std::size_t port, Rate want,
+                        std::string_view what)
+    {
+        const Node &n = graph_.node(id);
+        NodeId src = portSrc(graph_, n, port);
+        if (src == kInvalidId || !want.known() || !rate_[src].known() ||
+            rate_[src] == want)
+            return;
+        report_.addNode(
+            DiagId::RateMismatch, graph_, id,
+            formatMessage(what, " arrives at rate ",
+                          rateStr(graph_, rate_[src]), " but ",
+                          opName(n.op), " consumes it at ",
+                          rateStr(graph_, want)));
+    }
+
+    void reportPortRates()
+    {
+        for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+            const Node &n = graph_.node(id);
+            NodeId d = ctrlDecider(n);
+            switch (n.op) {
+              case Op::Source:
+              case Op::LoopMerge:
+                break; // merge ports get dedicated rules below
+              case Op::Invariant:
+              case Op::InvariantGated:
+                if (d != kInvalidId)
+                    expectPortRate(id, 0, invokeRate(d),
+                                   "loop-invariant value");
+                break;
+              case Op::SteerTrue:
+              case Op::SteerFalse:
+                if (d != kInvalidId)
+                    expectPortRate(id, 1, Rate::cond(d), "steered value");
+                break;
+              default: {
+                // All token inputs of a plain op must share one rate.
+                Rate first;
+                std::size_t first_port = 0;
+                for (std::size_t p = 0; p < n.inputs.size(); ++p) {
+                    NodeId src = portSrc(graph_, n, p);
+                    if (src == kInvalidId || !rate_[src].known())
+                        continue;
+                    if (!first.known()) {
+                        first = rate_[src];
+                        first_port = p;
+                        continue;
+                    }
+                    if (rate_[src] != first) {
+                        report_.addNode(
+                            DiagId::RateMismatch, graph_, id,
+                            formatMessage(
+                                opName(n.op), " port ", first_port,
+                                " fires at ", rateStr(graph_, first),
+                                " but port ", p, " fires at ",
+                                rateStr(graph_, rate_[src]),
+                                "; one side leaks or starves"));
+                        break;
+                    }
+                }
+                break;
+              }
+            }
+        }
+    }
+
+    void reportPerDecider()
+    {
+        for (const auto &[decider, merges] : merges_of_) {
+            // A decider that never observes loop-carried state decides
+            // the same thing forever: the loop cannot terminate.
+            bool fed_back = reachesFromMerges(merges, decider);
+            if (!fed_back) {
+                report_.addNode(
+                    DiagId::RateNonTerminating, graph_, decider,
+                    "loop decider does not depend on any value carried "
+                    "by the loop's merges; the loop can never exit");
+            } else if (rate_[decider].known() &&
+                       !(rate_[decider] == Rate::cond(decider))) {
+                report_.addNode(
+                    DiagId::RateCtrlRate, graph_, decider,
+                    formatMessage(
+                        "loop decider fires at ",
+                        rateStr(graph_, rate_[decider]),
+                        "; merges consume one decision per condition "
+                        "evaluation (",
+                        rateStr(graph_, Rate::cond(decider)), ")"));
+            }
+
+            Rate invoke = invokeRate(decider);
+            for (NodeId m : merges) {
+                const Node &n = graph_.node(m);
+                NodeId back = portSrc(graph_, n, 1);
+                if (back != kInvalidId && rate_[back].known() &&
+                    !(rate_[back] == Rate::body(decider))) {
+                    report_.addNode(
+                        DiagId::RateBackEdge, graph_, m,
+                        formatMessage(
+                            "back edge carries tokens at ",
+                            rateStr(graph_, rate_[back]),
+                            "; the merge consumes exactly one per taken "
+                            "iteration (",
+                            rateStr(graph_, Rate::body(decider)), ")"));
+                }
+                // All merges of one loop are (re)initialised together.
+                expectPortRate(m, 0, invoke, "init value");
+            }
+        }
+    }
+
+    /** Merges sharing a loop id must share a decider; two deciders
+     *  means two rings that can disagree on iteration count. */
+    void reportMixedDeciders()
+    {
+        std::unordered_map<LoopId, NodeId> loop_decider;
+        for (const auto &[decider, merges] : merges_of_) {
+            for (NodeId m : merges) {
+                LoopId loop = graph_.node(m).loop;
+                if (loop == kInvalidId)
+                    continue;
+                auto [it, fresh] = loop_decider.emplace(loop, decider);
+                if (!fresh && it->second != decider) {
+                    report_.addNode(
+                        DiagId::RateDeciderMixed, graph_, m,
+                        formatMessage(
+                            "merge is decided by node ", decider,
+                            " but another merge of loop ", loop,
+                            " is decided by node ", it->second));
+                }
+            }
+        }
+    }
+
+    bool reachesFromMerges(const std::vector<NodeId> &merges,
+                           NodeId target) const
+    {
+        std::vector<bool> seen(graph_.numNodes(), false);
+        std::vector<NodeId> work;
+        for (NodeId m : merges) {
+            seen[m] = true;
+            work.push_back(m);
+        }
+        const auto &fanout = graph_.fanout();
+        while (!work.empty()) {
+            NodeId id = work.back();
+            work.pop_back();
+            if (id == target)
+                return true;
+            for (const PortRef &use : fanout[id]) {
+                if (!seen[use.node]) {
+                    seen[use.node] = true;
+                    work.push_back(use.node);
+                }
+            }
+        }
+        return false;
+    }
+
+    /** Cycles need a node that emits before its inputs settle:
+     *  LoopMerge (fires off init) or Invariant (emits on value
+     *  arrival). A cycle with neither never produces a first token. */
+    void reportDeadlockCycles()
+    {
+        std::vector<std::vector<std::uint32_t>> adj(graph_.numNodes());
+        for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+            const Node &n = graph_.node(id);
+            for (std::size_t p = 0; p < n.inputs.size(); ++p) {
+                NodeId src = portSrc(graph_, n, p);
+                if (src != kInvalidId)
+                    adj[src].push_back(id);
+            }
+        }
+        SccResult scc = computeScc(adj);
+        std::vector<bool> comp_seeded(scc.numComponents(), false);
+        for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+            Op op = graph_.node(id).op;
+            if (op == Op::LoopMerge || op == Op::Invariant)
+                comp_seeded[scc.component[id]] = true;
+        }
+        std::vector<bool> comp_reported(scc.numComponents(), false);
+        for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+            std::uint32_t comp = scc.component[id];
+            if (scc.cyclic[comp] && !comp_seeded[comp] &&
+                !comp_reported[comp]) {
+                comp_reported[comp] = true;
+                report_.addNode(
+                    DiagId::RateDeadlockCycle, graph_, id,
+                    formatMessage(
+                        "dataflow cycle through ",
+                        opName(graph_.node(id).op),
+                        " contains no LoopMerge or Invariant; every "
+                        "member waits on the others for a first token"));
+            }
+        }
+    }
+
+    const Graph &graph_;
+    DiagnosticReport &report_;
+    std::vector<Rate> rate_;
+    /** decider node -> the LoopMerges it steers. */
+    std::unordered_map<NodeId, std::vector<NodeId>> merges_of_;
+};
+
+} // namespace
+
+void
+checkTokenRates(const Graph &graph, DiagnosticReport &report)
+{
+    RateAnalysis(graph, report).run();
+}
+
+} // namespace nupea

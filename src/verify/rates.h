@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Static token-rate and deadlock analysis (verifier analysis 2 of 3).
+ *
+ * Assigns every node a symbolic firing rate and checks that producers
+ * and consumers agree. Rates are keyed by *decider* — the node feeding
+ * a LoopMerge's ctrl port — rather than by loop metadata, so the
+ * analysis works on hand-built graphs that never went through Builder:
+ *
+ *   once      fires once per graph invocation (sources, top level)
+ *   cond(D)   once per evaluation of decider D  (k body iterations
+ *             plus the final false — what merges and repeaters emit)
+ *   body(D)   once per taken iteration of D     (what SteerTrue and
+ *             InvariantGated emit; what merge back edges must carry)
+ *
+ * The rate a loop is *invoked* at resolves to the rate of its merges'
+ * init inputs, which is how nesting composes: an inner loop invoked
+ * from an outer body runs at body(D_outer).
+ *
+ * A mismatch between what arrives at a port and what the op consumes
+ * is a token leak (queue grows without bound) or starvation (node
+ * eventually stops firing) — exactly the bugs that otherwise show up
+ * as simulator livelock. Cycles with no LoopMerge or Invariant to
+ * seed them are reported as static deadlock.
+ *
+ * Unknown rates propagate silently: the analysis only reports when it
+ * can *prove* two known rates disagree, so it never false-positives
+ * on constructs it does not understand.
+ */
+
+#ifndef NUPEA_VERIFY_RATES_H
+#define NUPEA_VERIFY_RATES_H
+
+#include "verify/diagnostics.h"
+
+namespace nupea
+{
+
+/** Run the token-rate/deadlock rules over `graph`, appending findings.
+ *  Requires structurally sound wiring (run checkStructure first). */
+void checkTokenRates(const Graph &graph, DiagnosticReport &report);
+
+} // namespace nupea
+
+#endif // NUPEA_VERIFY_RATES_H

@@ -1,0 +1,235 @@
+#include "verify/structural.h"
+
+#include "common/log.h"
+#include "common/scc.h"
+
+namespace nupea
+{
+
+namespace
+{
+
+/**
+ * Per-node "can this ever fire" fixpoint. Sources fire spontaneously
+ * and immediates are always ready; a LoopMerge fires off its init
+ * alone and an Invariant off its value alone, so those ports are the
+ * only liveness requirement. Everything else needs every token port.
+ */
+std::vector<bool>
+computeLiveness(const Graph &graph)
+{
+    std::vector<bool> live(graph.numNodes(), false);
+
+    auto portLive = [&](const Node &n, std::size_t port) {
+        const InputConn &in = n.inputs[port];
+        if (in.isImm)
+            return true;
+        if (in.src == kInvalidId || in.src >= graph.numNodes())
+            return false; // unconnected/bad ports reported elsewhere
+        return bool(live[in.src]);
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (NodeId id = 0; id < graph.numNodes(); ++id) {
+            if (live[id])
+                continue;
+            const Node &n = graph.node(id);
+            bool now = false;
+            switch (n.op) {
+              case Op::Source:
+                now = true;
+                break;
+              case Op::LoopMerge:
+                now = !n.inputs.empty() && portLive(n, 0);
+                break;
+              case Op::Invariant:
+                now = !n.inputs.empty() && portLive(n, 0);
+                break;
+              default: {
+                now = true;
+                for (std::size_t p = 0; p < n.inputs.size(); ++p)
+                    now = now && portLive(n, p);
+                break;
+              }
+            }
+            if (now) {
+                live[id] = true;
+                changed = true;
+            }
+        }
+    }
+    return live;
+}
+
+/** Merge-free combinational rings (the zero-latency hazard). */
+void
+checkCombinationalCycles(const Graph &graph, DiagnosticReport &report)
+{
+    std::vector<std::vector<std::uint32_t>> comb_adj(graph.numNodes());
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &n = graph.node(id);
+        if (!opTraits(n.op).combinational)
+            continue;
+        for (const InputConn &in : n.inputs) {
+            if (in.isImm || in.src == kInvalidId ||
+                in.src >= graph.numNodes())
+                continue;
+            if (opTraits(graph.node(in.src).op).combinational)
+                comb_adj[in.src].push_back(id);
+        }
+    }
+    SccResult scc = computeScc(comb_adj);
+    std::vector<bool> comp_has_merge(scc.numComponents(), false);
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        if (graph.node(id).op == Op::LoopMerge)
+            comp_has_merge[scc.component[id]] = true;
+    }
+    std::vector<bool> comp_reported(scc.numComponents(), false);
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        std::uint32_t comp = scc.component[id];
+        if (scc.cyclic[comp] && !comp_has_merge[comp] &&
+            !comp_reported[comp]) {
+            comp_reported[comp] = true;
+            report.addNode(DiagId::StructCombCycle, graph, id,
+                           formatMessage(
+                               "combinational cycle through ",
+                               opName(graph.node(id).op),
+                               " contains no merge to pace it"));
+        }
+    }
+}
+
+} // namespace
+
+void
+checkStructure(const Graph &graph, DiagnosticReport &report)
+{
+    bool wiring_sound = true;
+
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &n = graph.node(id);
+        if (static_cast<int>(n.op) >= kNumOps) {
+            report.addNode(DiagId::StructBadOpcode, graph, id,
+                           formatMessage("opcode value ",
+                                         static_cast<int>(n.op),
+                                         " is not in the instruction set"));
+            wiring_sound = false;
+            continue;
+        }
+        const OpTraits &traits = opTraits(n.op);
+
+        if (n.inputs.size() < traits.minInputs ||
+            n.inputs.size() > traits.maxInputs) {
+            report.addNode(
+                DiagId::StructArity, graph, id,
+                formatMessage(traits.name, " has ", n.inputs.size(),
+                              " inputs; expected ",
+                              int(traits.minInputs), "..",
+                              int(traits.maxInputs)));
+            wiring_sound = false;
+            continue; // port checks below assume sane arity
+        }
+
+        for (std::size_t p = 0; p < n.inputs.size(); ++p) {
+            const InputConn &in = n.inputs[p];
+            if (!in.connected()) {
+                report.addNode(DiagId::StructPortUnconnected, graph, id,
+                               formatMessage(traits.name, " port ", p,
+                                             " is unconnected"));
+            } else if (!in.isImm && in.src >= graph.numNodes()) {
+                report.addNode(DiagId::StructPortBadRef, graph, id,
+                               formatMessage(traits.name, " port ", p,
+                                             " references node ", in.src,
+                                             " in a graph of ",
+                                             graph.numNodes(), " nodes"));
+                wiring_sound = false;
+            } else if (!in.isImm &&
+                       graph.node(in.src).op == Op::Sink) {
+                report.addNode(DiagId::StructSinkConsumed, graph, id,
+                               formatMessage(traits.name, " port ", p,
+                                             " consumes from sink node ",
+                                             in.src));
+            }
+        }
+
+        if (n.crit != Criticality::None && !traits.isMemory) {
+            report.addNode(
+                DiagId::StructCritNonMem, graph, id,
+                formatMessage("criticality '", criticalityName(n.crit),
+                              "' on non-memory op ", traits.name));
+        }
+
+        if (n.loop != kInvalidId && n.loop >= graph.numLoops()) {
+            report.addNode(DiagId::StructLoopRef, graph, id,
+                           formatMessage("loop id ", n.loop,
+                                         " outside the loop tree of ",
+                                         graph.numLoops(), " loops"));
+        } else if (n.loop != kInvalidId &&
+                   graph.loopInfo(n.loop).depth != n.loopDepth) {
+            report.addNode(
+                DiagId::StructLoopDepth, graph, id,
+                formatMessage("loopDepth ", int(n.loopDepth),
+                              " but loop ", n.loop, " has depth ",
+                              int(graph.loopInfo(n.loop).depth)));
+        } else if (n.loop == kInvalidId && n.loopDepth != 0) {
+            report.addNode(DiagId::StructLoopDepth, graph, id,
+                           formatMessage("loopDepth ", int(n.loopDepth),
+                                         " with no enclosing loop"));
+        }
+
+        if (n.op == Op::LoopMerge && n.inputs.size() == 3 &&
+            n.inputs[2].isImm) {
+            report.addNode(DiagId::StructMergeCtrlImm, graph, id,
+                           "merge decider is an immediate; the ring "
+                           "either never exits or never iterates");
+        }
+        if ((n.op == Op::Invariant || n.op == Op::InvariantGated) &&
+            n.inputs.size() == 2 && n.inputs[1].isImm) {
+            report.addNode(DiagId::StructInvarCtrlImm, graph, id,
+                           "repeater ctrl is an immediate; a true "
+                           "value re-emits without bound");
+        }
+        if ((n.op == Op::SteerTrue || n.op == Op::SteerFalse) &&
+            n.inputs.size() == 2 && n.inputs[0].isImm) {
+            report.addNode(DiagId::StructSteerConstCtrl, graph, id,
+                           formatMessage("steer ctrl is the constant ",
+                                         n.inputs[0].imm,
+                                         "; arm is always-",
+                                         (n.inputs[0].imm != 0) ==
+                                                 (n.op == Op::SteerTrue)
+                                             ? "forward"
+                                             : "drop"));
+        }
+    }
+
+    // Fanout- and reachability-based rules need sound wiring: a bad
+    // node reference would index outside the fanout table.
+    if (!wiring_sound)
+        return;
+
+    const auto &fanout = graph.fanout();
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &n = graph.node(id);
+        if (opTraits(n.op).fu == FuClass::Arith && fanout[id].empty()) {
+            report.addNode(DiagId::StructUnusedOutput, graph, id,
+                           formatMessage(opName(n.op),
+                                         " result is never consumed"));
+        }
+    }
+
+    std::vector<bool> live = computeLiveness(graph);
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        if (!live[id]) {
+            report.addNode(DiagId::StructUnreachable, graph, id,
+                           formatMessage(opName(graph.node(id).op),
+                                         " can never fire: no token "
+                                         "path reaches every port"));
+        }
+    }
+
+    checkCombinationalCycles(graph, report);
+}
+
+} // namespace nupea

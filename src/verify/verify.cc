@@ -1,0 +1,52 @@
+#include "verify/verify.h"
+
+namespace nupea
+{
+
+namespace
+{
+
+/** Rate analysis indexes through edges; refuse graphs whose wiring
+ *  the structural pass proved unsound. */
+bool
+wiringSound(const DiagnosticReport &report)
+{
+    return !report.has(DiagId::StructBadOpcode) &&
+           !report.has(DiagId::StructArity) &&
+           !report.has(DiagId::StructPortBadRef);
+}
+
+} // namespace
+
+DiagnosticReport
+verifyGraph(const Graph &graph, const VerifyOptions &options)
+{
+    DiagnosticReport report;
+    if (options.structure)
+        checkStructure(graph, report);
+    if (options.rates && wiringSound(report))
+        checkTokenRates(graph, report);
+    return report;
+}
+
+DiagnosticReport
+verifyCompiled(const Graph &graph, const Topology &topo,
+               const Placement &placement, const RouteResult &route,
+               const VerifyOptions &options)
+{
+    DiagnosticReport report = verifyGraph(graph, options);
+    if (options.legality && wiringSound(report)) {
+        checkPlacement(graph, topo, placement, report);
+        checkRouting(graph, topo, placement, route, report);
+    }
+    return report;
+}
+
+DiagnosticReport
+verifyCompiled(const Graph &graph, const Topology &topo,
+               const PnrResult &pnr, const VerifyOptions &options)
+{
+    return verifyCompiled(graph, topo, pnr.placement, pnr.route, options);
+}
+
+} // namespace nupea

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Static verifier entry points.
+ *
+ * The verifier is read-only over the IR and PnR output: it never
+ * mutates the graph, never consumes randomness, and therefore cannot
+ * perturb simulation results. It runs by default between compile and
+ * simulate (bench harness `--verify`, escape hatch `--no-verify`).
+ *
+ * See DESIGN.md ("Verification pipeline") for the diagnostic ID
+ * catalog and how to add a rule.
+ */
+
+#ifndef NUPEA_VERIFY_VERIFY_H
+#define NUPEA_VERIFY_VERIFY_H
+
+#include "compiler/pnr.h"
+#include "verify/diagnostics.h"
+#include "verify/legality.h"
+#include "verify/rates.h"
+#include "verify/structural.h"
+
+namespace nupea
+{
+
+/** Which analyses to run. */
+struct VerifyOptions
+{
+    bool structure = true;
+    bool rates = true;
+    bool legality = true;
+};
+
+/**
+ * Verify a graph before PnR: structural rules, then — when the
+ * wiring is sound enough to traverse — token-rate/deadlock rules.
+ */
+DiagnosticReport verifyGraph(const Graph &graph,
+                             const VerifyOptions &options = {});
+
+/**
+ * Verify a compiled graph: everything verifyGraph checks, plus
+ * placement and routing legality against `topo`.
+ */
+DiagnosticReport verifyCompiled(const Graph &graph, const Topology &topo,
+                                const Placement &placement,
+                                const RouteResult &route,
+                                const VerifyOptions &options = {});
+
+/** Convenience overload over a whole PnR result. */
+DiagnosticReport verifyCompiled(const Graph &graph, const Topology &topo,
+                                const PnrResult &pnr,
+                                const VerifyOptions &options = {});
+
+} // namespace nupea
+
+#endif // NUPEA_VERIFY_VERIFY_H

@@ -428,6 +428,94 @@ TEST(Builder, InvariantConditionIsFatal)
         FatalError);
 }
 
+// ---------------------------------------------------------------------
+// Builder misuse throws a catchable FatalError (not an abort), so
+// front-end bugs surface at construction with a useful message.
+
+TEST(Builder, InvalidValueIsFatal)
+{
+    Builder b;
+    EXPECT_THROW(b.sink(Value()), FatalError);
+    EXPECT_THROW(b.add(Value(), Word{1}), FatalError);
+}
+
+TEST(Builder, NonBinaryOpInBinaryIsFatal)
+{
+    Builder b;
+    auto v = b.source(1);
+    EXPECT_THROW(b.binary(Op::SteerTrue, v, v), FatalError);
+    EXPECT_THROW(b.binary(Op::Load, v, Word{0}), FatalError);
+    EXPECT_THROW(b.binary(Op::Neg, Word{0}, v), FatalError);
+}
+
+TEST(Builder, EmptyLoopInitsIsFatal)
+{
+    Builder b;
+    EXPECT_THROW(
+        b.whileLoop(
+            {},
+            [](Builder &bb, const std::vector<Value> &cur) {
+                return bb.lt(cur[0], Word{4});
+            },
+            [](Builder &, const std::vector<Value> &cur) {
+                return std::vector<Value>{cur[0]};
+            }),
+        FatalError);
+}
+
+TEST(Builder, BodyArityMismatchIsFatal)
+{
+    Builder b;
+    EXPECT_THROW(
+        b.whileLoop(
+            {b.source(0)},
+            [](Builder &bb, const std::vector<Value> &cur) {
+                return bb.lt(cur[0], Word{4});
+            },
+            [](Builder &, const std::vector<Value> &) {
+                return std::vector<Value>{}; // 0 values for 1 carried
+            }),
+        FatalError);
+    Builder b2;
+    EXPECT_THROW(
+        b2.forLoop(b2.source(0), b2.source(4), 1, {b2.source(0)},
+                   [](Builder &, Value, const std::vector<Value> &cur) {
+                       std::vector<Value> out{cur[0], cur[0]};
+                       return out; // 2 values for 1 carried
+                   }),
+        FatalError);
+}
+
+TEST(Builder, TakeGraphInsideLoopBodyIsFatal)
+{
+    Builder b;
+    EXPECT_THROW(
+        b.forLoop(b.source(0), b.source(3), 1, {b.source(0)},
+                  [&](Builder &bb, Value, const std::vector<Value> &c) {
+                      bb.takeGraph(); // scope still open
+                      return std::vector<Value>{c[0]};
+                  }),
+        FatalError);
+}
+
+TEST(Builder, TakeGraphValidatesAndNamesNodes)
+{
+    // takeGraph() runs validateOrDie(); a hand-broken graph throws a
+    // message carrying the node's debug name.
+    Builder b;
+    auto v = b.binary(Op::Add, b.source(2), b.source(3), "total");
+    b.sink(v);
+    b.graph().node(2).inputs.resize(1); // the Add loses a port
+    try {
+        b.takeGraph();
+        FAIL() << "takeGraph() accepted a malformed graph";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("total"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
 TEST(Builder, LoopMetadataStamped)
 {
     Builder b;
