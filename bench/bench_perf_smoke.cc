@@ -2,15 +2,23 @@
  * @file
  * Harness-throughput smoke bench: compiles a small workload basket,
  * runs the same sweep serially (--jobs 1) and in parallel (--jobs N),
- * checks the two produce bit-identical simulated stats, and writes
- * BENCH_perf.json — per-point timings plus serial-vs-parallel sweep
- * wall-clock — so future PRs can see sweep-throughput regressions.
+ * checks the two produce bit-identical simulated stats, times an
+ * attribution-on serial pass, and writes BENCH_perf.json — per-point
+ * and per-workload timings plus serial-vs-parallel sweep wall-clock —
+ * so future PRs can see sweep-throughput regressions.
  *
- * Usage: bench_perf_smoke [--jobs N] [--out PATH]
+ * Usage: bench_perf_smoke [--jobs N] [--out PATH] [--guard BASELINE]
+ *
+ * With --guard, the measured total firings_per_sec is compared
+ * against the committed BASELINE json; more than 25% slower fails
+ * (exit 1). NUPEA_PERF_GUARD_SKIP=1 skips the comparison (exit 77,
+ * the ctest SKIP_RETURN_CODE) for machines where wall-clock is not
+ * comparable to the recorded baseline.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iterator>
 #include <string>
@@ -50,16 +58,52 @@ sameStats(const BenchRun &a, const BenchRun &b)
            a.verified == b.verified;
 }
 
+/**
+ * Pull `"firings_per_sec": <number>` out of a baseline json's
+ * "total" object (it is the file's last occurrence of the key).
+ */
+bool
+readBaselineFiringsPerSec(const std::string &path, double &value)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    const char key[] = "\"firings_per_sec\":";
+    std::size_t pos = text.rfind(key);
+    if (pos == std::string::npos)
+        return false;
+    value = std::strtod(text.c_str() + pos + sizeof key - 1, nullptr);
+    return value > 0.0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string out_path = "BENCH_perf.json";
+    std::string out_path;
+    std::string guard_path;
     for (int i = 1; i + 1 < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0)
             out_path = argv[i + 1];
+        if (std::strcmp(argv[i], "--guard") == 0)
+            guard_path = argv[i + 1];
     }
+    if (!guard_path.empty() &&
+        std::getenv("NUPEA_PERF_GUARD_SKIP") != nullptr) {
+        std::printf("perf_smoke: NUPEA_PERF_GUARD_SKIP set, "
+                    "skipping guard comparison\n");
+        return 77; // ctest SKIP_RETURN_CODE
+    }
+    if (out_path.empty())
+        out_path =
+            guard_path.empty() ? "BENCH_perf.json" : "BENCH_perf.guard.json";
 
     SweepRunner parallel_runner(parseSweepArgs(argc, argv));
     SweepRunner serial_runner(SweepOptions{1});
@@ -89,12 +133,24 @@ main(int argc, char **argv)
     SweepResult serial = runSweep(serial_runner, rspecs);
     SweepResult parallel = runSweep(parallel_runner, rspecs);
 
+    // Same sweep with stall attribution on: the observability tax
+    // should stay a small multiple of the plain run.
+    std::vector<RunSpec> aspecs = rspecs;
+    for (RunSpec &spec : aspecs)
+        spec.config.stallAttribution = true;
+    SweepResult attr_serial = runSweep(serial_runner, aspecs);
+
     bool identical = true;
     for (std::size_t i = 0; i < serial.points.size(); ++i) {
         if (!sameStats(serial.points[i].run, parallel.points[i].run)) {
             identical = false;
             warn("jobs=1 vs jobs=", parallel.jobs,
                  " stats mismatch at ", serial.points[i].label);
+        }
+        if (!sameStats(serial.points[i].run, attr_serial.points[i].run)) {
+            identical = false;
+            warn("attribution on vs off stats mismatch at ",
+                 serial.points[i].label);
         }
     }
 
@@ -103,6 +159,10 @@ main(int argc, char **argv)
         total_fabric += static_cast<std::uint64_t>(p.run.fabricCycles);
         total_firings += p.run.firings;
     }
+    double total_firings_per_sec =
+        serial.wallSeconds > 0.0
+            ? static_cast<double>(total_firings) / serial.wallSeconds
+            : 0.0;
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f)
@@ -120,13 +180,39 @@ main(int argc, char **argv)
         f,
         "  \"sweep\": {\"points\": %zu, \"serial_wall_seconds\": %.6f, "
         "\"parallel_wall_seconds\": %.6f, \"parallel_jobs\": %d, "
-        "\"harness_speedup\": %.3f, \"stats_identical\": %s},\n",
+        "\"harness_speedup\": %.3f, "
+        "\"attr_serial_wall_seconds\": %.6f, "
+        "\"stats_identical\": %s},\n",
         serial.points.size(), serial.wallSeconds, parallel.wallSeconds,
         parallel.jobs,
         parallel.wallSeconds > 0.0
             ? serial.wallSeconds / parallel.wallSeconds
             : 1.0,
-        identical ? "true" : "false");
+        attr_serial.wallSeconds, identical ? "true" : "false");
+
+    // Per-workload aggregates over the config sweep (serial pass).
+    std::fprintf(f, "  \"workloads\": {\n");
+    for (std::size_t w = 0; w < std::size(kBasket); ++w) {
+        double seconds = 0.0;
+        std::uint64_t fabric = 0, firings = 0;
+        for (std::size_t c = 0; c < std::size(kConfigs); ++c) {
+            const PointResult &p =
+                serial.points[w * std::size(kConfigs) + c];
+            seconds += p.wallSeconds;
+            fabric += static_cast<std::uint64_t>(p.run.fabricCycles);
+            firings += p.run.firings;
+        }
+        std::fprintf(
+            f,
+            "    \"%s\": {\"seconds\": %.6f, "
+            "\"firings_per_sec\": %.1f, \"fabric_cycles\": %llu}%s\n",
+            kBasket[w], seconds,
+            seconds > 0.0 ? static_cast<double>(firings) / seconds : 0.0,
+            static_cast<unsigned long long>(fabric),
+            w + 1 < std::size(kBasket) ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
+
     std::fprintf(f, "  \"points\": [\n");
     for (std::size_t i = 0; i < serial.points.size(); ++i) {
         const PointResult &p = serial.points[i];
@@ -149,25 +235,44 @@ main(int argc, char **argv)
     std::fprintf(
         f,
         "  \"total\": {\"serial_wall_seconds\": %.6f, "
+        "\"attr_serial_wall_seconds\": %.6f, "
         "\"fabric_cycles_per_sec\": %.1f, \"firings_per_sec\": %.1f}\n",
-        serial.wallSeconds,
+        serial.wallSeconds, attr_serial.wallSeconds,
         serial.wallSeconds > 0.0
             ? static_cast<double>(total_fabric) / serial.wallSeconds
             : 0.0,
-        serial.wallSeconds > 0.0
-            ? static_cast<double>(total_firings) / serial.wallSeconds
-            : 0.0);
+        total_firings_per_sec);
     std::fprintf(f, "}\n");
     std::fclose(f);
 
     std::printf("perf_smoke: %zu points, serial %.3fs, parallel %.3fs "
-                "on %d jobs (%.2fx), stats identical: %s\n",
+                "on %d jobs (%.2fx), attribution-on serial %.3fs, "
+                "stats identical: %s\n",
                 serial.points.size(), serial.wallSeconds,
                 parallel.wallSeconds, parallel.jobs,
                 parallel.wallSeconds > 0.0
                     ? serial.wallSeconds / parallel.wallSeconds
                     : 1.0,
-                identical ? "yes" : "NO");
+                attr_serial.wallSeconds, identical ? "yes" : "NO");
     std::printf("wrote %s\n", out_path.c_str());
-    return identical ? 0 : 1;
+    if (!identical)
+        return 1;
+
+    if (!guard_path.empty()) {
+        double baseline = 0.0;
+        if (!readBaselineFiringsPerSec(guard_path, baseline)) {
+            warn("perf guard: cannot read baseline ", guard_path);
+            return 1;
+        }
+        double ratio = baseline / total_firings_per_sec;
+        std::printf("perf guard: baseline %.1f firings/s, measured "
+                    "%.1f (%.2fx of baseline cost)\n",
+                    baseline, total_firings_per_sec, ratio);
+        if (ratio > 1.25) {
+            warn("perf guard: sweep is ", ratio,
+                 "x slower than the committed baseline (limit 1.25x)");
+            return 1;
+        }
+    }
+    return 0;
 }

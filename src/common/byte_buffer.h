@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Lazily-zeroed byte buffer for large simulated memories.
+ *
+ * `std::vector<std::uint8_t>(n, 0)` memsets all n bytes up front; for
+ * the 8 MiB BackingStore that dominates per-run harness cost even
+ * though a workload touches only a small fraction of it. The
+ * CallocAllocator sources memory from `calloc` — whose fresh pages the
+ * kernel provides already zeroed, on demand — and elides the vector's
+ * per-element value-initialization, so constructing a buffer costs
+ * O(pages actually touched) instead of O(size).
+ *
+ * The elision is only sound because calloc guarantees zeroed storage;
+ * the allocator therefore refuses non-trivially-constructible types.
+ */
+
+#ifndef NUPEA_COMMON_BYTE_BUFFER_H
+#define NUPEA_COMMON_BYTE_BUFFER_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define NUPEA_BYTE_BUFFER_USE_MMAP 1
+#endif
+
+namespace nupea
+{
+
+template <typename T>
+struct CallocAllocator
+{
+    static_assert(std::is_trivially_default_constructible_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "zero-init elision requires a trivial type");
+
+    using value_type = T;
+
+    /** Buffers at least this large are mmap'd directly. */
+    static constexpr std::size_t kMmapThreshold = 256 * 1024;
+
+    CallocAllocator() = default;
+    template <typename U>
+    CallocAllocator(const CallocAllocator<U> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+#ifdef NUPEA_BYTE_BUFFER_USE_MMAP
+        // calloc alone is not enough: once an allocation this size is
+        // freed, glibc recycles it through the main heap and calloc
+        // must memset the whole block again. A private anonymous
+        // mapping always starts as untouched kernel zero pages.
+        if (n * sizeof(T) >= kMmapThreshold) {
+            void *p = ::mmap(nullptr, n * sizeof(T),
+                             PROT_READ | PROT_WRITE,
+                             MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+            if (p == MAP_FAILED)
+                throw std::bad_alloc();
+            return static_cast<T *>(p);
+        }
+#endif
+        void *p = std::calloc(n, sizeof(T));
+        if (p == nullptr)
+            throw std::bad_alloc();
+        return static_cast<T *>(p);
+    }
+
+    void
+    deallocate(T *p, std::size_t n)
+    {
+#ifdef NUPEA_BYTE_BUFFER_USE_MMAP
+        if (n * sizeof(T) >= kMmapThreshold) {
+            ::munmap(p, n * sizeof(T));
+            return;
+        }
+#endif
+        std::free(p);
+    }
+
+    /** Default/value-init is a no-op: calloc already zeroed it. */
+    template <typename U>
+    void
+    construct(U *) noexcept
+    {
+    }
+
+    template <typename U, typename Arg0, typename... Args>
+    void
+    construct(U *p, Arg0 &&arg0, Args &&...args)
+    {
+        ::new (static_cast<void *>(p))
+            U(std::forward<Arg0>(arg0), std::forward<Args>(args)...);
+    }
+
+    template <typename U>
+    bool
+    operator==(const CallocAllocator<U> &) const
+    {
+        return true;
+    }
+};
+
+/** Large byte array with lazily-zeroed backing pages. */
+using ByteBuffer = std::vector<std::uint8_t, CallocAllocator<std::uint8_t>>;
+
+} // namespace nupea
+
+#endif // NUPEA_COMMON_BYTE_BUFFER_H

@@ -103,6 +103,66 @@ class StatSet
     std::map<std::string, Distribution> dists_;
 };
 
+/**
+ * Lazily-bound handle to one StatSet counter. The string-keyed map
+ * lookup happens once, on first use; after that the hot path pays a
+ * null check instead of a map walk (map element references are
+ * stable). Binding lazily — instead of at construction — preserves
+ * the registry's create-on-first-use contract: a stat that is never
+ * touched never appears in the exported set, so switching a call
+ * site from `set.counter("x")` to a handle cannot change which rows
+ * a run emits. Non-copyable: a copied handle would keep pointing
+ * into the original set.
+ */
+class CounterHandle
+{
+  public:
+    CounterHandle(StatSet &set, std::string name)
+        : set_(&set), name_(std::move(name))
+    {}
+
+    CounterHandle(const CounterHandle &) = delete;
+    CounterHandle &operator=(const CounterHandle &) = delete;
+
+    std::uint64_t &
+    value()
+    {
+        if (!ptr_)
+            ptr_ = &set_->counter(name_);
+        return *ptr_;
+    }
+
+  private:
+    StatSet *set_;
+    std::string name_;
+    std::uint64_t *ptr_ = nullptr;
+};
+
+/** Lazily-bound handle to one StatSet distribution (see CounterHandle). */
+class DistHandle
+{
+  public:
+    DistHandle(StatSet &set, std::string name)
+        : set_(&set), name_(std::move(name))
+    {}
+
+    DistHandle(const DistHandle &) = delete;
+    DistHandle &operator=(const DistHandle &) = delete;
+
+    Distribution &
+    value()
+    {
+        if (!ptr_)
+            ptr_ = &set_->dist(name_);
+        return *ptr_;
+    }
+
+  private:
+    StatSet *set_;
+    std::string name_;
+    Distribution *ptr_ = nullptr;
+};
+
 } // namespace nupea
 
 #endif // NUPEA_COMMON_STATS_H

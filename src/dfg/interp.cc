@@ -5,7 +5,7 @@
 namespace nupea
 {
 
-Interp::Interp(const Graph &graph, std::vector<std::uint8_t> &memory)
+Interp::Interp(const Graph &graph, ByteBuffer &memory)
     : graph_(graph), mem_(memory)
 {
     std::size_t n = graph_.numNodes();

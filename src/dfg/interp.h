@@ -16,6 +16,7 @@
 #include <map>
 #include <vector>
 
+#include "common/byte_buffer.h"
 #include "dfg/graph.h"
 
 namespace nupea
@@ -51,7 +52,7 @@ class Interp
      * @param graph  validated dataflow graph
      * @param memory backing store; loads/stores must stay in bounds
      */
-    Interp(const Graph &graph, std::vector<std::uint8_t> &memory);
+    Interp(const Graph &graph, ByteBuffer &memory);
 
     /**
      * Run to quiescence.
@@ -76,7 +77,7 @@ class Interp
     void storeWord(Addr addr, Word value);
 
     const Graph &graph_;
-    std::vector<std::uint8_t> &mem_;
+    ByteBuffer &mem_;
 
     /** Per-node, per-port token queues (unbounded). */
     std::vector<std::vector<std::deque<Word>>> fifos_;

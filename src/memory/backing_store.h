@@ -8,8 +8,8 @@
 #define NUPEA_MEMORY_BACKING_STORE_H
 
 #include <cstdint>
-#include <vector>
 
+#include "common/byte_buffer.h"
 #include "common/log.h"
 #include "common/types.h"
 
@@ -20,7 +20,9 @@ namespace nupea
 class BackingStore
 {
   public:
-    explicit BackingStore(std::size_t bytes) : bytes_(bytes, 0) {}
+    /** All-zero store; pages are mapped (and zeroed) only on first
+     *  touch, so construction cost scales with use, not capacity. */
+    explicit BackingStore(std::size_t bytes) : bytes_(bytes) {}
 
     std::size_t size() const { return bytes_.size(); }
 
@@ -78,11 +80,11 @@ class BackingStore
     std::size_t allocated() const { return next_; }
 
     /** Access the raw bytes (e.g., for the untimed interpreter). */
-    std::vector<std::uint8_t> &raw() { return bytes_; }
-    const std::vector<std::uint8_t> &raw() const { return bytes_; }
+    ByteBuffer &raw() { return bytes_; }
+    const ByteBuffer &raw() const { return bytes_; }
 
   private:
-    std::vector<std::uint8_t> bytes_;
+    ByteBuffer bytes_;
     std::size_t next_ = 64;
 };
 

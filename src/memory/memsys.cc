@@ -23,7 +23,7 @@ MemorySystem::access(Addr addr, bool is_store, Word store_data,
     // Queue behind earlier requests to the same bank (1/cycle each).
     Cycle start = std::max(arrival, free_at);
     if (start > arrival)
-        stats_.counter("bank_conflicts") += 1;
+        bankConflicts_.value() += 1;
 
     CacheAccess ca = cache_.access(addr, is_store);
     Cycle latency = config_.cacheHitLatency +
@@ -37,13 +37,13 @@ MemorySystem::access(Addr addr, bool is_store, Word store_data,
     result.hit = ca.hit;
     if (is_store) {
         store_.storeWord(addr, store_data);
-        stats_.counter("stores") += 1;
+        stores_.value() += 1;
     } else {
         result.data = store_.loadWord(addr);
-        stats_.counter("loads") += 1;
+        loads_.value() += 1;
     }
-    stats_.counter(ca.hit ? "cache_hits" : "cache_misses") += 1;
-    stats_.dist("bank_latency").sample(
+    (ca.hit ? cacheHits_ : cacheMisses_).value() += 1;
+    bankLatency_.value().sample(
         static_cast<double>(result.completeAt - arrival));
     return result;
 }

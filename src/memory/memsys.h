@@ -87,6 +87,17 @@ class MemorySystem
     /** Next system cycle each bank can accept a request. */
     std::vector<Cycle> bankFree_;
     StatSet stats_;
+
+    /** @{ Lazily-bound stat handles: access() sits on the simulator's
+     *  hottest path, so it must not pay a string-keyed map lookup per
+     *  request (see CounterHandle in common/stats.h). */
+    CounterHandle bankConflicts_{stats_, "bank_conflicts"};
+    CounterHandle loads_{stats_, "loads"};
+    CounterHandle stores_{stats_, "stores"};
+    CounterHandle cacheHits_{stats_, "cache_hits"};
+    CounterHandle cacheMisses_{stats_, "cache_misses"};
+    DistHandle bankLatency_{stats_, "bank_latency"};
+    /** @} */
 };
 
 } // namespace nupea

@@ -56,6 +56,11 @@ Machine::Machine(const Graph &graph, const Placement &placement,
 {
     NUPEA_ASSERT(config_.clockDivider >= 1);
     NUPEA_ASSERT(config_.fifoDepth >= 1);
+    NUPEA_ASSERT(config_.maxOutstanding >= 1);
+    // Token/PendingResponse pack their cycle into 32 bits.
+    NUPEA_ASSERT(config_.maxFabricCycles < 0xffffff00ull,
+                 "watchdog bound too large for packed token cycles");
+    attrOn_ = config_.stallAttribution;
 
     MemModelConfig mm = config_.mem;
     mm.clockDivider = config_.clockDivider;
@@ -64,31 +69,111 @@ Machine::Machine(const Graph &graph, const Placement &placement,
     std::size_t n = graph_.numNodes();
     NUPEA_ASSERT(placement_.pos.size() == n,
                  "placement does not cover the graph");
-    fifos_.resize(n);
+
+    // Pass 1: per-node dispatch rows — opcode traits, flat port
+    // bases, placement tile, per-firing energy. After this pass the
+    // scheduling loop never consults graph_ / opTraits() again.
+    lanes_.resize(n);
+    std::uint32_t num_ports = 0;
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = graph_.node(id);
+        const OpTraits &traits = opTraits(node.op);
+        NodeLane &lane = lanes_[id];
+        lane.op = node.op;
+        lane.fu = traits.fu;
+        lane.combinational = traits.combinational;
+        lane.isMemory = traits.isMemory;
+        lane.numInputs = static_cast<std::uint8_t>(node.inputs.size());
+        lane.portBase = num_ports;
+        num_ports += lane.numInputs;
+        lane.coord = placement_.of(id);
+        switch (traits.fu) {
+          case FuClass::Arith:
+            lane.fireEnergy = config_.energy.arithFire;
+            break;
+          case FuClass::Control:
+            lane.fireEnergy = config_.energy.controlFire;
+            break;
+          case FuClass::Mem:
+            lane.fireEnergy = config_.energy.memIssue;
+            break;
+          case FuClass::XData:
+            lane.fireEnergy = config_.energy.xdataFire;
+            break;
+        }
+        if (traits.isMemory) {
+            lane.memIndex = static_cast<std::int32_t>(memNodes_.size());
+            memNodes_.push_back(id);
+        }
+    }
+    tokens_.init(num_ports, static_cast<std::size_t>(config_.fifoDepth));
+    pending_.init(memNodes_.size(),
+                  static_cast<std::size_t>(config_.maxOutstanding));
+
+    // Pass 2: flat input connections and fanout edges. dstPort is an
+    // arena ring index and hopEnergy the exact per-token data-NoC
+    // charge, so emit() is a pure table walk.
+    inPorts_.resize(num_ports);
+    const auto &fanout = graph_.fanout();
+    std::size_t num_edges = 0;
     for (NodeId id = 0; id < n; ++id)
-        fifos_[id].resize(graph_.node(id).inputs.size());
+        num_edges += fanout[id].size();
+    outEdges_.reserve(num_edges);
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = graph_.node(id);
+        NodeLane &lane = lanes_[id];
+        for (std::size_t p = 0; p < node.inputs.size(); ++p) {
+            const InputConn &in = node.inputs[p];
+            InPort &port = inPorts_[lane.portBase + p];
+            port.src = in.src;
+            port.imm = in.imm;
+            port.isImm = in.isImm;
+            if (in.isImm) {
+                // Immediates live in their ring as one resident,
+                // always-visible token (never popped, never emitted
+                // into), so portVisible() is a plain ring probe.
+                lane.immMask |= static_cast<std::uint8_t>(1u << p);
+                tokens_.push(lane.portBase + p, Token{in.imm, 0});
+            }
+        }
+        lane.outBase = static_cast<std::uint32_t>(outEdges_.size());
+        for (const PortRef &dst : fanout[id]) {
+            OutEdge edge;
+            edge.dst = dst.node;
+            edge.dstPort = lanes_[dst.node].portBase + dst.port;
+            edge.hopEnergy =
+                config_.energy.noCHopPerToken *
+                lane.coord.manhattan(lanes_[dst.node].coord);
+            outEdges_.push_back(edge);
+        }
+        lane.outCount =
+            static_cast<std::uint32_t>(outEdges_.size()) - lane.outBase;
+    }
+
     mergeState_.assign(n, MergeState::Init);
     holdState_.assign(n, HoldState::Empty);
     heldValue_.assign(n, 0);
-    sourcePending_.assign(n, false);
+    sourcePending_.assign(n, 0);
     firedAt_.assign(n, kNoCycle);
     inNow_.assign(n, 0);
     inNext_.assign(n, 0);
-    pendingResp_.resize(n);
+    sinkRec_.assign(n, SinkRecord{});
     outstanding_.assign(n, 0);
+    listNow_.reserve(n);
+    listNext_.reserve(n);
     for (NodeId id = 0; id < n; ++id) {
-        const Node &node = graph_.node(id);
-        if (node.op == Op::Source) {
-            sourcePending_[id] = true;
+        if (lanes_[id].op == Op::Source) {
+            sourcePending_[id] = 1;
             listNext_.push_back(id);
             inNext_[id] = 1;
         }
-        if (opTraits(node.op).isMemory)
-            memNodes_.push_back(id);
     }
-    if (config_.stallAttribution) {
+    if (attrOn_) {
         nodeStalls_.resize(n);
         lastReason_.assign(n, static_cast<std::uint8_t>(StallReason::Idle));
+        reasonSince_.assign(n, 0);
+        dirtyFlag_.assign(n, 0);
+        dirtyList_.reserve(n);
         nodeMemLatency_.resize(n);
     }
     if (config_.trace) {
@@ -120,32 +205,44 @@ Machine::activate(NodeId id, Cycle cycle)
     }
 }
 
+void
+Machine::markDirty(NodeId id)
+{
+    if (!dirtyFlag_[id]) {
+        dirtyFlag_[id] = 1;
+        dirtyList_.push_back(id);
+    }
+}
+
+bool
+Machine::portVisible(std::uint32_t p, Word &value) const
+{
+    // Immediate ports hold a resident token with visibleAt 0, so one
+    // probe covers both cases.
+    const Token *t = tokens_.peek(p);
+    if (t == nullptr || t->visibleAt > now_)
+        return false;
+    value = t->value;
+    return true;
+}
+
 bool
 Machine::inputVisible(NodeId id, int port, Word &value) const
 {
-    const InputConn &in =
-        graph_.node(id).inputs[static_cast<std::size_t>(port)];
-    if (in.isImm) {
-        value = in.imm;
-        return true;
-    }
-    const auto &q = fifos_[id][static_cast<std::size_t>(port)];
-    if (q.empty() || q.front().visibleAt > now_)
-        return false;
-    value = q.front().value;
-    return true;
+    return portVisible(lanes_[id].portBase +
+                           static_cast<std::uint32_t>(port),
+                       value);
 }
 
 void
 Machine::popInput(NodeId id, int port)
 {
-    const InputConn &in =
-        graph_.node(id).inputs[static_cast<std::size_t>(port)];
+    std::uint32_t p =
+        lanes_[id].portBase + static_cast<std::uint32_t>(port);
+    const InPort &in = inPorts_[p];
     if (in.isImm)
         return;
-    auto &q = fifos_[id][static_cast<std::size_t>(port)];
-    NUPEA_ASSERT(!q.empty());
-    q.pop_front();
+    tokens_.pop(p);
     // Freed credit may unblock the producer, this cycle.
     if (in.src != kInvalidId)
         activate(in.src, now_);
@@ -154,9 +251,10 @@ Machine::popInput(NodeId id, int port)
 bool
 Machine::outputsHaveCredit(NodeId id) const
 {
-    for (const PortRef &dst : graph_.fanout()[id]) {
-        const auto &q = fifos_[dst.node][dst.port];
-        if (q.size() >= static_cast<std::size_t>(config_.fifoDepth))
+    const NodeLane &lane = lanes_[id];
+    const OutEdge *edge = outEdges_.data() + lane.outBase;
+    for (std::uint32_t k = 0; k < lane.outCount; ++k, ++edge) {
+        if (tokens_.full(edge->dstPort))
             return false;
     }
     return true;
@@ -165,199 +263,195 @@ Machine::outputsHaveCredit(NodeId id) const
 void
 Machine::emit(NodeId id, Word value, Cycle visible_at)
 {
-    Coord src = placement_.of(id);
-    for (const PortRef &dst : graph_.fanout()[id]) {
-        result_.energy.network +=
-            config_.energy.noCHopPerToken *
-            src.manhattan(placement_.of(dst.node));
-        auto &q = fifos_[dst.node][dst.port];
-        NUPEA_ASSERT(q.size() < static_cast<std::size_t>(config_.fifoDepth),
-                     "emit without credit");
-        q.push_back(Token{value, visible_at});
-        activate(dst.node, visible_at);
-    }
-}
-
-bool
-Machine::ready(NodeId id) const
-{
-    const Node &n = graph_.node(id);
-    Word v;
-    switch (n.op) {
-      case Op::Source:
-        return sourcePending_[id] && outputsHaveCredit(id);
-      case Op::Sink:
-        return inputVisible(id, 0, v);
-      case Op::LoopMerge:
-        if (!outputsHaveCredit(id))
-            return false;
-        if (mergeState_[id] == MergeState::Init)
-            return inputVisible(id, 0, v);
-        if (!inputVisible(id, 2, v))
-            return false;
-        return v == 0 || inputVisible(id, 1, v);
-      case Op::Invariant:
-      case Op::InvariantGated:
-        if (!outputsHaveCredit(id))
-            return false;
-        if (holdState_[id] == HoldState::Empty)
-            return inputVisible(id, 0, v);
-        return inputVisible(id, 1, v);
-      case Op::Load:
-      case Op::Store:
-        if (outstanding_[id] >= config_.maxOutstanding)
-            return false;
-        for (std::size_t p = 0; p < n.inputs.size(); ++p) {
-            if (!inputVisible(id, static_cast<int>(p), v))
-                return false;
-        }
-        return true;
-      default:
-        if (!outputsHaveCredit(id))
-            return false;
-        for (std::size_t p = 0; p < n.inputs.size(); ++p) {
-            if (!inputVisible(id, static_cast<int>(p), v))
-                return false;
-        }
-        return true;
+    const NodeLane &lane = lanes_[id];
+    const OutEdge *edge = outEdges_.data() + lane.outBase;
+    for (std::uint32_t k = 0; k < lane.outCount; ++k, ++edge) {
+        result_.energy.network += edge->hopEnergy;
+        // TokenArena::push asserts ring capacity: emit without credit
+        // is a scheduler bug.
+        tokens_.push(edge->dstPort,
+                     Token{value, static_cast<std::uint32_t>(visible_at)});
+        // The push changes the consumer's queue occupancy now even if
+        // the token is only visible later, so its classification may
+        // flip (e.g. Idle -> OperandWait) this very cycle.
+        if (attrOn_)
+            markDirty(edge->dst);
+        activate(edge->dst, visible_at);
     }
 }
 
 void
-Machine::fire(NodeId id)
+Machine::fireProlog(NodeId id, const NodeLane &lane)
 {
-    const Node &n = graph_.node(id);
-    const bool comb = opTraits(n.op).combinational;
-    const Cycle out_cycle = comb ? now_ : now_ + 1;
-    Word a = 0, b = 0, c = 0;
     ++result_.firings;
-    switch (opTraits(n.op).fu) {
-      case FuClass::Arith:
-        result_.energy.compute += config_.energy.arithFire;
-        break;
-      case FuClass::Control:
-        result_.energy.compute += config_.energy.controlFire;
-        break;
-      case FuClass::Mem:
-        result_.energy.memory += config_.energy.memIssue;
-        break;
-      case FuClass::XData:
-        result_.energy.compute += config_.energy.xdataFire;
-        break;
-    }
+    if (lane.fu == FuClass::Mem)
+        result_.energy.memory += lane.fireEnergy;
+    else
+        result_.energy.compute += lane.fireEnergy;
     firedAt_[id] = now_;
     if (config_.trace)
-        config_.trace->onFire(now_, id, opName(n.op), placement_.of(id));
+        config_.trace->onFire(now_, id, opName(lane.op), lane.coord);
     // The node may have more queued work next cycle.
     activate(id, now_ + 1);
+}
 
-    switch (n.op) {
+bool
+Machine::tryFire(NodeId id)
+{
+    const NodeLane &lane = lanes_[id];
+    const Cycle out_cycle = lane.combinational ? now_ : now_ + 1;
+    Word a = 0, b = 0, c = 0;
+    // Readiness order within each op: operands before consumer
+    // credit — both are pure predicates, and the operand probe
+    // touches this node's own rings while the credit scan walks
+    // every consumer's, so it is the cheaper one to fail on.
+    switch (lane.op) {
       case Op::Source:
-        sourcePending_[id] = false;
-        emit(id, n.imm, out_cycle);
-        return;
+        if (!sourcePending_[id] || !outputsHaveCredit(id))
+            return false;
+        fireProlog(id, lane);
+        sourcePending_[id] = 0;
+        emit(id, graph_.node(id).imm, out_cycle);
+        return true;
 
       case Op::Sink: {
-        inputVisible(id, 0, a);
+        if (!portVisible(lane.portBase, a))
+            return false;
+        fireProlog(id, lane);
         popInput(id, 0);
-        SinkRecord &rec = result_.sinks[id];
+        SinkRecord &rec = sinkRec_[id];
         ++rec.count;
         rec.last = a;
         rec.sum += a;
-        return;
+        return true;
       }
 
       case Op::LoopMerge:
         if (mergeState_[id] == MergeState::Init) {
-            inputVisible(id, 0, a);
+            if (!portVisible(lane.portBase + 0, a) ||
+                !outputsHaveCredit(id))
+                return false;
+            fireProlog(id, lane);
             popInput(id, 0);
             mergeState_[id] = MergeState::Ctrl;
             emit(id, a, out_cycle);
-            return;
+            return true;
         }
-        inputVisible(id, 2, c);
+        if (!portVisible(lane.portBase + 2, c))
+            return false;
+        if (c != 0 && !portVisible(lane.portBase + 1, a))
+            return false;
+        if (!outputsHaveCredit(id))
+            return false;
+        fireProlog(id, lane);
         popInput(id, 2);
         if (c != 0) {
-            inputVisible(id, 1, a);
             popInput(id, 1);
             emit(id, a, out_cycle);
         } else {
             mergeState_[id] = MergeState::Init;
         }
-        return;
+        return true;
 
       case Op::Invariant:
         if (holdState_[id] == HoldState::Empty) {
-            inputVisible(id, 0, a);
+            if (!portVisible(lane.portBase + 0, a) ||
+                !outputsHaveCredit(id))
+                return false;
+            fireProlog(id, lane);
             popInput(id, 0);
             heldValue_[id] = a;
             holdState_[id] = HoldState::Held;
             emit(id, a, out_cycle);
-            return;
+            return true;
         }
-        inputVisible(id, 1, c);
+        if (!portVisible(lane.portBase + 1, c) ||
+            !outputsHaveCredit(id))
+            return false;
+        fireProlog(id, lane);
         popInput(id, 1);
         if (c != 0)
             emit(id, heldValue_[id], out_cycle);
         else
             holdState_[id] = HoldState::Empty;
-        return;
+        return true;
 
       case Op::InvariantGated:
         if (holdState_[id] == HoldState::Empty) {
-            inputVisible(id, 0, a);
+            if (!portVisible(lane.portBase + 0, a) ||
+                !outputsHaveCredit(id))
+                return false;
+            fireProlog(id, lane);
             popInput(id, 0);
             heldValue_[id] = a;
             holdState_[id] = HoldState::Held;
-            return;
+            return true;
         }
-        inputVisible(id, 1, c);
+        if (!portVisible(lane.portBase + 1, c) ||
+            !outputsHaveCredit(id))
+            return false;
+        fireProlog(id, lane);
         popInput(id, 1);
         if (c != 0)
             emit(id, heldValue_[id], out_cycle);
         else
             holdState_[id] = HoldState::Empty;
-        return;
+        return true;
 
       case Op::SteerTrue:
       case Op::SteerFalse:
-        inputVisible(id, 0, c);
-        inputVisible(id, 1, a);
+        if (!portVisible(lane.portBase + 0, c) ||
+            !portVisible(lane.portBase + 1, a) ||
+            !outputsHaveCredit(id))
+            return false;
+        fireProlog(id, lane);
         popInput(id, 0);
         popInput(id, 1);
-        if ((c != 0) == (n.op == Op::SteerTrue))
+        if ((c != 0) == (lane.op == Op::SteerTrue))
             emit(id, a, out_cycle);
-        return;
+        return true;
 
       case Op::Select:
-        inputVisible(id, 0, c);
-        inputVisible(id, 1, a);
-        inputVisible(id, 2, b);
+        if (!portVisible(lane.portBase + 0, c) ||
+            !portVisible(lane.portBase + 1, a) ||
+            !portVisible(lane.portBase + 2, b) ||
+            !outputsHaveCredit(id))
+            return false;
+        fireProlog(id, lane);
         popInput(id, 0);
         popInput(id, 1);
         popInput(id, 2);
         emit(id, c != 0 ? a : b, out_cycle);
-        return;
+        return true;
 
       case Op::Load:
       case Op::Store: {
-        const bool is_store = n.op == Op::Store;
-        inputVisible(id, 0, a); // address
+        if (outstanding_[id] >= config_.maxOutstanding)
+            return false;
+        const bool is_store = lane.op == Op::Store;
+        if (!portVisible(lane.portBase + 0, a)) // address
+            return false;
         Word data = 0;
-        if (is_store)
-            inputVisible(id, 1, data);
-        for (std::size_t p = 0; p < n.inputs.size(); ++p)
+        if (is_store && !portVisible(lane.portBase + 1, data))
+            return false;
+        // Any further inputs (ordering tokens) must be present too.
+        for (std::uint32_t p = is_store ? 2u : 1u; p < lane.numInputs;
+             ++p) {
+            if (!portVisible(lane.portBase + p, b))
+                return false;
+        }
+        fireProlog(id, lane);
+        for (std::uint32_t p = 0; p < lane.numInputs; ++p)
             popInput(id, static_cast<int>(p));
 
         Cycle issue_sys = now_ * static_cast<Cycle>(config_.clockDivider);
         MemAccessOutcome out = memModel_->access(
-            placement_.of(id), static_cast<Addr>(a), is_store, data,
-            issue_sys);
+            lane.coord, static_cast<Addr>(a), is_store, data, issue_sys);
         if (config_.trace)
             config_.trace->onMemIssue(issue_sys, out.completeAt, id,
                                       static_cast<Addr>(a), is_store,
                                       out.hit);
-        if (config_.stallAttribution)
+        if (attrOn_)
             nodeMemLatency_[id].sample(
                 static_cast<double>(out.completeAt - issue_sys));
         // Data-movement energy on the fabric-memory path: one stage
@@ -388,28 +482,38 @@ Machine::fire(NodeId id)
         Cycle div = static_cast<Cycle>(config_.clockDivider);
         Cycle fabric_ready =
             std::max<Cycle>((out.completeAt + div - 1) / div, now_ + 1);
-        pendingResp_[id].push_back(
-            PendingResponse{is_store ? Word{0} : out.data, fabric_ready});
+        pending_.push(static_cast<std::size_t>(lane.memIndex),
+                      PendingResponse{
+                          is_store ? Word{0} : out.data,
+                          static_cast<std::uint32_t>(fabric_ready)});
         ++outstanding_[id];
+        ++inFlight_;
         wakeups_.push(fabric_ready);
-        return;
+        return true;
       }
 
       case Op::Neg:
       case Op::Not:
-        inputVisible(id, 0, a);
+        if (!portVisible(lane.portBase + 0, a) ||
+            !outputsHaveCredit(id))
+            return false;
+        fireProlog(id, lane);
         popInput(id, 0);
-        emit(id, evalUnary(n.op, a), out_cycle);
-        return;
+        emit(id, evalUnary(lane.op, a), out_cycle);
+        return true;
 
       default:
-        NUPEA_ASSERT(opIsBinaryArith(n.op), "unhandled op ", opName(n.op));
-        inputVisible(id, 0, a);
-        inputVisible(id, 1, b);
+        NUPEA_ASSERT(opIsBinaryArith(lane.op), "unhandled op ",
+                     opName(lane.op));
+        if (!portVisible(lane.portBase + 0, a) ||
+            !portVisible(lane.portBase + 1, b) ||
+            !outputsHaveCredit(id))
+            return false;
+        fireProlog(id, lane);
         popInput(id, 0);
         popInput(id, 1);
-        emit(id, evalBinary(n.op, a, b), out_cycle);
-        return;
+        emit(id, evalBinary(lane.op, a, b), out_cycle);
+        return true;
     }
 }
 
@@ -418,41 +522,49 @@ Machine::deliverResponses()
 {
     // Deliver the oldest due response of every memory node (one per
     // node per cycle: the PE's single output port).
-    for (NodeId id : memNodes_) {
-        auto &pending = pendingResp_[id];
-        if (pending.empty() || pending.front().fabricReady > now_)
+    for (std::size_t m = 0; m < memNodes_.size(); ++m) {
+        if (pending_.empty(m) || pending_.front(m).fabricReady > now_)
             continue;
+        NodeId id = memNodes_[m];
         if (!outputsHaveCredit(id)) {
+            // The due-but-blocked response flips this node's
+            // classification (MemWait -> RespUndeliverable) without
+            // any worklist activity this cycle.
+            if (attrOn_)
+                markDirty(id);
             activate(id, now_ + 1); // retry next cycle
             continue;
         }
         if (config_.trace)
             config_.trace->onMemDeliver(now_, id);
-        emit(id, pending.front().value, now_);
-        pending.pop_front();
+        emit(id, pending_.front(m).value, now_);
+        pending_.pop(m);
         --outstanding_[id];
+        --inFlight_;
         activate(id, now_); // an issue slot freed up
-        if (!pending.empty())
-            wakeups_.push(std::max(pending.front().fabricReady, now_ + 1));
+        if (!pending_.empty(m))
+            wakeups_.push(std::max(Cycle{pending_.front(m).fabricReady},
+                                   now_ + 1));
     }
 }
 
 StallReason
 Machine::classifyStall(NodeId id) const
 {
-    const Node &n = graph_.node(id);
-    const auto &pending = pendingResp_[id];
+    const NodeLane &lane = lanes_[id];
+    const std::size_t mi = static_cast<std::size_t>(lane.memIndex);
+    const bool has_pending = lane.memIndex >= 0 && !pending_.empty(mi);
 
     // A due response that cannot leave the PE is the most actionable
     // reason: the consumer, not this node, is the bottleneck.
-    if (!pending.empty() && pending.front().fabricReady <= now_ &&
+    if (has_pending && pending_.front(mi).fabricReady <= now_ &&
         !outputsHaveCredit(id))
         return StallReason::RespUndeliverable;
 
     bool operands = true; ///< all operands the op needs are visible
     bool engaged = false; ///< holds mid-computation state
     Word v;
-    switch (n.op) {
+    switch (lane.op) {
       case Op::Source:
         if (!sourcePending_[id])
             operands = false; // nothing left to emit, ever
@@ -462,22 +574,23 @@ Machine::classifyStall(NodeId id) const
       case Op::LoopMerge:
         engaged = mergeState_[id] != MergeState::Init;
         if (mergeState_[id] == MergeState::Init) {
-            operands = inputVisible(id, 0, v);
-        } else if (!inputVisible(id, 2, v)) {
+            operands = portVisible(lane.portBase + 0, v);
+        } else if (!portVisible(lane.portBase + 2, v)) {
             operands = false;
         } else {
-            operands = v == 0 || inputVisible(id, 1, v);
+            operands = v == 0 || portVisible(lane.portBase + 1, v);
         }
         break;
       case Op::Invariant:
       case Op::InvariantGated:
         engaged = holdState_[id] != HoldState::Empty;
-        operands = inputVisible(
-            id, holdState_[id] == HoldState::Empty ? 0 : 1, v);
+        operands = portVisible(
+            lane.portBase + (holdState_[id] == HoldState::Empty ? 0 : 1),
+            v);
         break;
       default:
-        for (std::size_t p = 0; operands && p < n.inputs.size(); ++p)
-            operands = inputVisible(id, static_cast<int>(p), v);
+        for (std::uint32_t p = 0; operands && p < lane.numInputs; ++p)
+            operands = portVisible(lane.portBase + p, v);
         break;
     }
 
@@ -485,31 +598,55 @@ Machine::classifyStall(NodeId id) const
         // Operands present but the node did not fire: memory ops are
         // only ever gated by the outstanding cap (they need no output
         // credit to issue); everything else is consumer backpressure.
-        if (opTraits(n.op).isMemory)
+        if (lane.isMemory)
             return StallReason::OutstandingCap;
         return StallReason::Backpressure;
     }
-    for (const auto &q : fifos_[id])
-        engaged = engaged || !q.empty();
+    if (!engaged) {
+        // Resident immediate tokens don't count as queued work.
+        for (std::uint32_t p = 0; p < lane.numInputs; ++p) {
+            if (!(lane.immMask >> p & 1) &&
+                !tokens_.empty(lane.portBase + p)) {
+                engaged = true;
+                break;
+            }
+        }
+    }
     if (engaged)
         return StallReason::OperandWait;
-    if (!pending.empty())
+    if (has_pending)
         return StallReason::MemWait;
     return StallReason::Idle;
 }
 
 void
-Machine::attributeCycle()
+Machine::closeSpan(NodeId id, StallReason reason, Cycle upTo)
 {
-    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+    Cycle span = upTo - reasonSince_[id];
+    if (span == 0)
+        return;
+    auto ri = static_cast<std::size_t>(reason);
+    nodeStalls_[id].cycles[ri] += span;
+    classStalls_[static_cast<std::size_t>(lanes_[id].fu)][ri] += span;
+}
+
+void
+Machine::attributeDirty()
+{
+    // Transition events must land in the trace in ascending node
+    // order per cycle (the order the old full-scan attribution
+    // emitted them); with no trace the order is immaterial.
+    if (config_.trace && dirtyList_.size() > 1)
+        std::sort(dirtyList_.begin(), dirtyList_.end());
+    for (NodeId id : dirtyList_) {
+        dirtyFlag_[id] = 0;
         StallReason r = firedAt_[id] == now_ ? StallReason::Fired
                                              : classifyStall(id);
-        auto ri = static_cast<std::size_t>(r);
-        nodeStalls_[id].cycles[ri] += 1;
-        classStalls_[static_cast<std::size_t>(
-            opTraits(graph_.node(id).op).fu)][ri] += 1;
         auto prev = static_cast<StallReason>(lastReason_[id]);
-        if (config_.trace && prev != r) {
+        if (prev == r)
+            continue; // span extends; nothing to close
+        closeSpan(id, prev, now_);
+        if (config_.trace) {
             if (isTracedStall(prev))
                 config_.trace->onStallEnd(now_, id,
                                           stallReasonName(prev));
@@ -518,30 +655,19 @@ Machine::attributeCycle()
                                             stallReasonName(r));
         }
         lastReason_[id] = static_cast<std::uint8_t>(r);
+        reasonSince_[id] = now_;
     }
-}
-
-void
-Machine::attributeSkip(Cycle skipped)
-{
-    // A fast-forward span has no firings and no state changes, so
-    // every node keeps the classification of the cycle before it.
-    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
-        auto r = static_cast<StallReason>(lastReason_[id]);
-        // A node classified Fired cannot "stay fired" over idle
-        // cycles: with nothing schedulable it is simply drained.
-        if (r == StallReason::Fired)
-            r = classifyStall(id);
-        auto ri = static_cast<std::size_t>(r);
-        nodeStalls_[id].cycles[ri] += skipped;
-        classStalls_[static_cast<std::size_t>(
-            opTraits(graph_.node(id).op).fu)][ri] += skipped;
-    }
+    dirtyList_.clear();
 }
 
 void
 Machine::flushAttribution()
 {
+    // Close every node's open span at the final cycle; fast-forward
+    // spans folded in here for free (no events => no reclassification).
+    for (NodeId id = 0; id < graph_.numNodes(); ++id)
+        closeSpan(id, static_cast<StallReason>(lastReason_[id]), now_);
+
     // Close any stall interval left open at the end of the run so the
     // trace has balanced begin/end pairs.
     if (config_.trace) {
@@ -583,30 +709,34 @@ Machine::checkCleanliness()
 {
     result_.clean = true;
     for (NodeId id = 0; id < graph_.numNodes(); ++id) {
-        const Node &n = graph_.node(id);
-        for (std::size_t p = 0; p < n.inputs.size(); ++p) {
-            if (!fifos_[id][p].empty()) {
+        const NodeLane &lane = lanes_[id];
+        for (std::uint32_t p = 0; p < lane.numInputs; ++p) {
+            // Resident immediate tokens are not stranded work.
+            if (!(lane.immMask >> p & 1) &&
+                !tokens_.empty(lane.portBase + p)) {
                 result_.clean = false;
                 result_.problem = formatMessage(
-                    "token stranded at node ", id, " (", opName(n.op),
+                    "token stranded at node ", id, " (", opName(lane.op),
                     ") port ", p);
                 return;
             }
         }
-        if ((n.op == Op::Invariant || n.op == Op::InvariantGated) &&
+        if ((lane.op == Op::Invariant || lane.op == Op::InvariantGated) &&
             holdState_[id] == HoldState::Held) {
             result_.clean = false;
             result_.problem =
                 formatMessage("invariant ", id, " still holds a value");
             return;
         }
-        if (n.op == Op::LoopMerge && mergeState_[id] != MergeState::Init) {
+        if (lane.op == Op::LoopMerge &&
+            mergeState_[id] != MergeState::Init) {
             result_.clean = false;
             result_.problem =
                 formatMessage("merge ", id, " not in init state");
             return;
         }
-        if (!pendingResp_[id].empty()) {
+        if (lane.memIndex >= 0 &&
+            !pending_.empty(static_cast<std::size_t>(lane.memIndex))) {
             result_.clean = false;
             result_.problem = formatMessage(
                 "memory node ", id, " has undelivered responses");
@@ -624,10 +754,13 @@ Machine::run()
         // flags can simply swap as well.
         listNow_.swap(listNext_);
         listNext_.clear();
+        // The walk below clears inNow_ entry-by-entry as it drains
+        // listNow_, so the buffer swapped out here is already
+        // all-zero — no per-cycle fill needed.
         inNow_.swap(inNext_);
-        std::fill(inNext_.begin(), inNext_.end(), 0);
 
-        deliverResponses();
+        if (inFlight_ != 0)
+            deliverResponses();
 
         // Fixpoint over this cycle: combinational outputs are visible
         // immediately, so firing cascades; each node fires at most
@@ -636,41 +769,42 @@ Machine::run()
         for (std::size_t i = 0; i < listNow_.size(); ++i) {
             NodeId id = listNow_[i];
             inNow_[id] = 0;
+            // Every walked node had a (potential) state change this
+            // cycle; queue it for end-of-cycle reclassification.
+            if (attrOn_)
+                markDirty(id);
             if (firedAt_[id] == now_) {
                 // Already fired this cycle; try again next cycle.
                 activate(id, now_ + 1);
                 continue;
             }
-            if (!ready(id))
-                continue;
-            fire(id);
-            any_activity = true;
+            any_activity |= tryFire(id);
         }
         listNow_.clear();
 
-        if (config_.stallAttribution)
-            attributeCycle();
+        if (attrOn_)
+            attributeDirty();
 
         ++now_;
 
         if (listNext_.empty()) {
-            bool in_flight = false;
-            for (NodeId id : memNodes_)
-                in_flight = in_flight || !pendingResp_[id].empty();
+            const bool in_flight = inFlight_ != 0;
             if (!any_activity && !in_flight)
                 break; // fully quiescent
 
             // Fast-forward to the next response if nothing else runs.
+            // With incremental attribution the skipped span needs no
+            // bookkeeping: no events fire, so every node's open
+            // classification span simply extends across it.
             while (!wakeups_.empty() && wakeups_.top() <= now_)
                 wakeups_.pop();
             if (in_flight && !wakeups_.empty()) {
-                if (config_.stallAttribution)
-                    attributeSkip(wakeups_.top() - now_);
                 now_ = wakeups_.top();
                 // Queue every memory node with pending responses for
                 // the cycle we jumped to (the next loop iteration).
-                for (NodeId id : memNodes_) {
-                    if (!pendingResp_[id].empty() && !inNext_[id]) {
+                for (std::size_t m = 0; m < memNodes_.size(); ++m) {
+                    NodeId id = memNodes_[m];
+                    if (!pending_.empty(m) && !inNext_[id]) {
                         inNext_[id] = 1;
                         listNext_.push_back(id);
                     }
@@ -690,6 +824,14 @@ Machine::run()
         checkCleanliness();
     }
 
+    // Sink records were accumulated flat; export only the sinks that
+    // consumed at least one token (ascending id keeps the map order
+    // identical to on-the-fly insertion).
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        if (lanes_[id].op == Op::Sink && sinkRec_[id].count > 0)
+            result_.sinks[id] = sinkRec_[id];
+    }
+
     for (const auto &[name, value] : memModel_->stats().counters())
         result_.stats.counter("fmnoc." + name) = value;
     for (const auto &[name, d] : memModel_->stats().dists())
@@ -702,7 +844,7 @@ Machine::run()
     result_.stats.counter("fabric_cycles") = result_.fabricCycles;
     result_.stats.counter("system_cycles") = result_.systemCycles;
 
-    if (config_.stallAttribution)
+    if (attrOn_)
         flushAttribution();
 
     return result_;

@@ -15,6 +15,17 @@
  * Two clocks (paper Sec. 4.2): PEs step on the fabric clock; memory
  * and the fabric-memory NoC run on the system clock, `clockDivider`
  * times faster.
+ *
+ * Data layout (hot-path contract): all per-cycle state lives in flat
+ * arrays sized at construction. Operand FIFOs and in-flight response
+ * queues are rings in a TokenArena; everything `ready()` / `fire()` /
+ * `classifyStall()` need about a node (opcode traits, input
+ * connections, fanout edges with precomputed arena offsets and
+ * per-hop energy, placement tile) is resolved once into per-node
+ * dispatch tables, so the scheduling loop never touches the Graph.
+ * New per-node Machine state must follow the same rule — add a field
+ * to the tables, not a lookup into graph_/placement_ (see DESIGN.md,
+ * "Machine hot-path data layout").
  */
 
 #ifndef NUPEA_SIM_MACHINE_H
@@ -22,7 +33,6 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <queue>
@@ -40,6 +50,7 @@
 #include "memory/memsys.h"
 #include "sim/energy.h"
 #include "sim/mem_model.h"
+#include "sim/token_arena.h"
 
 namespace nupea
 {
@@ -109,8 +120,10 @@ struct MachineConfig
     /**
      * Classify every not-ready node-cycle into StallReason buckets
      * (per-node and per-FU-class counters, plus per-node memory
-     * latency distributions). Off by default: attribution scans all
-     * nodes once per simulated cycle, which costs real wall-clock.
+     * latency distributions). Off by default; attribution is
+     * incremental (a node is reclassified only when a state-changing
+     * event touches it), so the cost scales with activity, not with
+     * numNodes * cycles.
      */
     bool stallAttribution = false;
     /**
@@ -165,29 +178,74 @@ class Machine
     RunResult run();
 
   private:
+    /** 8-byte packed FIFO entry: cycles fit in 32 bits because the
+     *  watchdog bounds a run to well under 2^32 fabric cycles (checked
+     *  at construction). Halving the entry keeps twice as many ring
+     *  slots per cache line on the hottest data in the simulator. */
     struct Token
     {
         Word value;
-        Cycle visibleAt; ///< fabric cycle it becomes consumable
+        std::uint32_t visibleAt; ///< fabric cycle it becomes consumable
     };
 
     enum class MergeState : std::uint8_t { Init, Ctrl };
     enum class HoldState : std::uint8_t { Empty, Held };
 
-    /** Per-node pending memory response (delivered in order). */
+    /** Per-node pending memory response (delivered in order);
+     *  packed like Token. */
     struct PendingResponse
     {
         Word value;
-        Cycle fabricReady; ///< earliest delivery fabric cycle
+        std::uint32_t fabricReady; ///< earliest delivery fabric cycle
+    };
+
+    /** One input connection, flattened for the hot loop. */
+    struct InPort
+    {
+        NodeId src = kInvalidId; ///< producer node; kInvalidId for imm
+        Word imm = 0;
+        bool isImm = false;
+    };
+
+    /** One fanout edge with its arena destination precomputed. */
+    struct OutEdge
+    {
+        NodeId dst = kInvalidId;
+        std::uint32_t dstPort = 0; ///< flat ring index in tokens_
+        double hopEnergy = 0.0;    ///< data-NoC energy per token
+    };
+
+    /**
+     * Per-node dispatch row: everything the scheduling loop needs,
+     * resolved from Graph / opTraits() / Placement at construction.
+     */
+    struct NodeLane
+    {
+        Op op = Op::Sink;
+        FuClass fu = FuClass::XData;
+        bool combinational = false;
+        bool isMemory = false;
+        std::uint8_t numInputs = 0;
+        std::uint8_t immMask = 0; ///< bit p set: input p is immediate
+        std::uint32_t portBase = 0; ///< first flat ring in tokens_
+        std::uint32_t outBase = 0;  ///< first OutEdge in outEdges_
+        std::uint32_t outCount = 0;
+        std::int32_t memIndex = -1; ///< ring in pending_; -1 if not mem
+        Coord coord;                ///< placement tile
+        double fireEnergy = 0.0;    ///< per-firing FU energy
     };
 
     bool inputVisible(NodeId id, int port, Word &value) const;
+    bool portVisible(std::uint32_t p, Word &value) const;
     void popInput(NodeId id, int port);
     bool outputsHaveCredit(NodeId id) const;
     void emit(NodeId id, Word value, Cycle visible_at);
-    bool ready(NodeId id) const;
-    /** Fire a ready node (must be ready). */
-    void fire(NodeId id);
+    /** Fire `id` if it is ready; one fused readiness-check-and-fire
+     *  so each operand is read and the opcode dispatched only once.
+     *  No side effects when the node is not ready. */
+    bool tryFire(NodeId id);
+    /** Common bookkeeping once a node is committed to firing. */
+    void fireProlog(NodeId id, const NodeLane &lane);
     /** Schedule a readiness re-check for `id` at `cycle`. */
     void activate(NodeId id, Cycle cycle);
 
@@ -196,12 +254,15 @@ class Machine
 
     /** Why `id` did not fire in the current cycle (attribution on). */
     StallReason classifyStall(NodeId id) const;
-    /** Classify every node for the just-simulated cycle `now_`. */
-    void attributeCycle();
-    /** Extend every node's last classification over `skipped` cycles
-     *  (fast-forward spans have no state changes by construction). */
-    void attributeSkip(Cycle skipped);
-    /** Export attribution counters into result_ after the run. */
+    /** Queue `id` for end-of-cycle reclassification (attribution on). */
+    void markDirty(NodeId id);
+    /** Reclassify every node a state-changing event touched this
+     *  cycle; untouched nodes keep their running classification. */
+    void attributeDirty();
+    /** Close `id`'s open classification span at fabric cycle `upTo`,
+     *  folding its length into the per-node / per-FU-class tallies. */
+    void closeSpan(NodeId id, StallReason reason, Cycle upTo);
+    /** Close all spans and export attribution counters into result_. */
     void flushAttribution();
 
     const Graph &graph_;
@@ -213,22 +274,40 @@ class Machine
     std::unique_ptr<MemAccessModel> memModel_;
 
     Cycle now_ = 0; ///< current fabric cycle
+    bool attrOn_ = false; ///< config_.stallAttribution, hot copy
 
-    std::vector<std::vector<std::deque<Token>>> fifos_;
+    /** @{ Flat per-node dispatch tables (built once, read-only). */
+    std::vector<NodeLane> lanes_;
+    std::vector<InPort> inPorts_;   ///< indexed by NodeLane::portBase
+    std::vector<OutEdge> outEdges_; ///< indexed by NodeLane::outBase
+    /** @} */
+
+    /** Operand FIFOs: one ring per (node, input port). Immediate
+     *  operands are materialized as a permanently-resident,
+     *  always-visible token in their ring, so the visibility check
+     *  needs no per-port immediate branch; popInput() and the
+     *  engaged/cleanliness scans exempt them via NodeLane::immMask. */
+    TokenArena<Token> tokens_;
     std::vector<MergeState> mergeState_;
     std::vector<HoldState> holdState_;
     std::vector<Word> heldValue_;
-    std::vector<bool> sourcePending_;
+    std::vector<std::uint8_t> sourcePending_;
     /** Fabric cycle each node last fired (<= 1 firing per cycle). */
     std::vector<Cycle> firedAt_;
     /** Worklist membership flags for the current / next cycle. */
     std::vector<std::uint8_t> inNow_;
     std::vector<std::uint8_t> inNext_;
+    /** Sink bookkeeping, exported into result_.sinks after the run. */
+    std::vector<SinkRecord> sinkRec_;
 
-    /** In-flight memory responses per LS node, in issue order. */
-    std::vector<std::deque<PendingResponse>> pendingResp_;
+    /** In-flight responses: one ring per memory node (issue order,
+     *  capacity maxOutstanding), indexed by NodeLane::memIndex. */
+    TokenArena<PendingResponse> pending_;
     std::vector<int> outstanding_;
     std::vector<NodeId> memNodes_;
+    /** Total in-flight responses across all memory nodes, so the
+     *  per-cycle quiescence / delivery checks are O(1). */
+    std::size_t inFlight_ = 0;
     /** Min-heap of fabric cycles with scheduled response deliveries. */
     std::priority_queue<Cycle, std::vector<Cycle>, std::greater<Cycle>>
         wakeups_;
@@ -237,11 +316,15 @@ class Machine
     std::vector<NodeId> listNow_;
     std::vector<NodeId> listNext_;
 
-    /** @{ Stall attribution (sized only when enabled). */
+    /** @{ Stall attribution (sized only when enabled). Incremental:
+     *  lastReason_/reasonSince_ hold each node's open classification
+     *  span; spans close (and tally) only when a state-changing event
+     *  marks the node dirty and its classification actually changed. */
     std::vector<NodeStallCounters> nodeStalls_;
-    /** Last classified reason per node (drives trace transitions
-     *  and fast-forward spans). */
     std::vector<std::uint8_t> lastReason_;
+    std::vector<Cycle> reasonSince_;
+    std::vector<std::uint8_t> dirtyFlag_;
+    std::vector<NodeId> dirtyList_;
     std::vector<Distribution> nodeMemLatency_;
     /** Per-FU-class aggregate counters, flushed into stats. */
     std::array<std::array<std::uint64_t, kNumStallReasons>, 4>

@@ -117,8 +117,7 @@ class MonacoMemModel : public MemAccessModel
                 static_cast<Addr>(numaDomains_));
             int row_group = ls_row * numaDomains_ / topo_.numLsRows();
             local = addr_group == row_group;
-            stats_.counter(local ? "local_accesses"
-                                 : "remote_accesses") += 1;
+            (local ? localAccesses_ : remoteAccesses_).value() += 1;
         }
 
         // Request path: one flopped arbiter per domain crossed
@@ -216,6 +215,10 @@ class MonacoMemModel : public MemAccessModel
     Distribution *reqNetDelay_ = nullptr;
     Distribution *respNetDelay_ = nullptr;
     Distribution *latencyTotal_ = nullptr;
+    /** Lazily bound: only the hybrid extension ever touches these,
+     *  and plain Monaco runs must not grow new zero-valued rows. */
+    CounterHandle localAccesses_{stats_, "local_accesses"};
+    CounterHandle remoteAccesses_{stats_, "remote_accesses"};
     /** @} */
 };
 
@@ -240,7 +243,7 @@ class UpeaMemModel : public MemAccessModel
         // the uniform network delay.
         MemAccessResult bank =
             memsys_.access(addr, is_store, data, issue + delaySys_);
-        stats_.dist("latency_total").sample(
+        latencyTotal_.value().sample(
             static_cast<double>(bank.completeAt - issue));
         MemAccessOutcome out;
         out.completeAt = bank.completeAt;
@@ -253,6 +256,7 @@ class UpeaMemModel : public MemAccessModel
   private:
     MemorySystem &memsys_;
     Cycle delaySys_;
+    DistHandle latencyTotal_{stats_, "latency_total"};
 };
 
 /** UPEA + NUMA: random PE->domain map, interleaved address space. */
@@ -300,10 +304,10 @@ class NumaUpeaMemModel : public MemAccessModel
     {
         bool local = domainOfTile(tile) == domainOfAddr(addr);
         Cycle delay = local ? 0 : delaySys_;
-        stats_.counter(local ? "local_accesses" : "remote_accesses") += 1;
+        (local ? localAccesses_ : remoteAccesses_).value() += 1;
         MemAccessResult bank =
             memsys_.access(addr, is_store, data, issue + delay);
-        stats_.dist("latency_total").sample(
+        latencyTotal_.value().sample(
             static_cast<double>(bank.completeAt - issue));
         MemAccessOutcome out;
         out.completeAt = bank.completeAt;
@@ -321,6 +325,9 @@ class NumaUpeaMemModel : public MemAccessModel
     int numaDomains_;
     int lineBytes_;
     std::vector<int> peDomain_;
+    CounterHandle localAccesses_{stats_, "local_accesses"};
+    CounterHandle remoteAccesses_{stats_, "remote_accesses"};
+    DistHandle latencyTotal_{stats_, "latency_total"};
 };
 
 } // namespace

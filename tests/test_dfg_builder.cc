@@ -23,7 +23,7 @@ using Value = Builder::Value;
 
 /** Write a word into little-endian byte memory. */
 void
-pokeWord(std::vector<std::uint8_t> &mem, Addr addr, Word value)
+pokeWord(ByteBuffer &mem, Addr addr, Word value)
 {
     auto v = static_cast<std::uint32_t>(value);
     mem[addr] = static_cast<std::uint8_t>(v);
@@ -33,7 +33,7 @@ pokeWord(std::vector<std::uint8_t> &mem, Addr addr, Word value)
 }
 
 Word
-peekWord(const std::vector<std::uint8_t> &mem, Addr addr)
+peekWord(const ByteBuffer &mem, Addr addr)
 {
     std::uint32_t v = mem[addr] |
                       (static_cast<std::uint32_t>(mem[addr + 1]) << 8) |
@@ -44,7 +44,7 @@ peekWord(const std::vector<std::uint8_t> &mem, Addr addr)
 
 /** Run builder's graph; assert validity and clean quiescence. */
 InterpResult
-runClean(Builder &b, std::vector<std::uint8_t> &mem)
+runClean(Builder &b, ByteBuffer &mem)
 {
     b.graph().validateOrDie();
     Interp interp(b.graph(), mem);
@@ -61,7 +61,7 @@ TEST(Builder, StraightLineArithmetic)
     auto z = b.add(b.mul(x, y), 8);
     NodeId out = b.sink(z, "z");
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].count, 1u);
     EXPECT_EQ(r.sinks[out].last, 50);
@@ -74,7 +74,7 @@ TEST(Builder, ImmediateOnEitherSide)
     NodeId a = b.sink(b.sub(x, Word{3}));
     NodeId c = b.sink(b.sub(Word{3}, x));
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[a].last, 7);
     EXPECT_EQ(r.sinks[c].last, -7);
@@ -88,7 +88,7 @@ TEST(Builder, SelectComputesBothArms)
     auto y = b.source(22);
     NodeId out = b.sink(b.select(c, x, y));
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].last, 11);
 }
@@ -105,7 +105,7 @@ TEST(Builder, ForLoopSum)
         });
     NodeId out = b.sink(exits[0], "sum");
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].count, 1u);
     EXPECT_EQ(r.sinks[out].last, 45); // 0+1+...+9
@@ -121,7 +121,7 @@ TEST(Builder, ZeroIterationLoop)
         });
     NodeId out = b.sink(exits[0]);
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].count, 1u);
     EXPECT_EQ(r.sinks[out].last, 99);
@@ -147,7 +147,7 @@ TEST(Builder, WhileLoopCollatzSteps)
         });
     NodeId out = b.sink(exits[1], "steps");
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].last, 8);
 }
@@ -171,7 +171,7 @@ TEST(Builder, InvariantBoundUsedInCondition)
         invariants += (n.op == Op::Invariant);
     EXPECT_GE(invariants, 1u);
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].last, 4);
 }
@@ -195,7 +195,7 @@ TEST(Builder, InvariantUsedInBody)
         gated += (n.op == Op::InvariantGated);
     EXPECT_GE(gated, 1u);
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].last, 15);
 }
@@ -224,7 +224,7 @@ TEST(Builder, SameValueInCondAndBodyGetsTwoRepeaters)
     EXPECT_EQ(plain, 1u);
     EXPECT_EQ(gated, 1u);
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].last, 16);
 }
@@ -247,7 +247,7 @@ TEST(Builder, RepeaterCacheReusesNodes)
         gated += (n.op == Op::InvariantGated);
     EXPECT_EQ(gated, 1u);
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     (void)r;
 }
@@ -269,7 +269,7 @@ TEST(Builder, NestedLoopsSumOfProducts)
         });
     NodeId out = b.sink(exits[0]);
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].last, 66);
 }
@@ -297,7 +297,7 @@ TEST(Builder, TriplyNestedLoops)
         });
     NodeId out = b.sink(exits[0]);
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].last, 24);
 }
@@ -311,7 +311,7 @@ TEST(Builder, LoadStoreRoundTrip)
     auto back = b.load(addr, done); // ordered after the store
     NodeId out = b.sink(back);
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].last, 1234);
     EXPECT_EQ(r.loads, 1u);
@@ -321,7 +321,7 @@ TEST(Builder, LoadStoreRoundTrip)
 
 TEST(Builder, ArraySumThroughMemory)
 {
-    std::vector<std::uint8_t> mem(256);
+    ByteBuffer mem(256);
     for (int i = 0; i < 8; ++i)
         pokeWord(mem, static_cast<Addr>(i * 4), i * i);
 
@@ -354,7 +354,7 @@ TEST(Builder, StoreStreamFromLoop)
         });
     b.sink(exits[0]);
 
-    std::vector<std::uint8_t> mem(256);
+    ByteBuffer mem(256);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.stores, 10u);
     for (int i = 0; i < 10; ++i)
@@ -366,7 +366,7 @@ TEST(Builder, StreamJoinIntersection)
     // The paper's core kernel shape (Fig. 5): two sorted index lists
     // walked by a data-dependent while loop; count matches.
     // A = [1 3 5 7 9], B = [2 3 5 8 9] -> matches {3, 5, 9} = 3.
-    std::vector<std::uint8_t> mem(256);
+    ByteBuffer mem(256);
     const Addr a_base = 0, b_base = 64;
     const Word a_vals[5] = {1, 3, 5, 7, 9};
     const Word b_vals[5] = {2, 3, 5, 8, 9};
@@ -557,7 +557,7 @@ TEST(Builder, SourcePassedAsNestedInitIsRepeated)
         });
     NodeId out = b.sink(exits[0]);
 
-    std::vector<std::uint8_t> mem(64);
+    ByteBuffer mem(64);
     auto r = runClean(b, mem);
     EXPECT_EQ(r.sinks[out].last, 12); // 3 outer * inner count 4
 }

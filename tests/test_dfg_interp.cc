@@ -17,10 +17,10 @@ namespace nupea
 namespace
 {
 
-std::vector<std::uint8_t>
+ByteBuffer
 smallMem()
 {
-    return std::vector<std::uint8_t>(256);
+    return ByteBuffer(256);
 }
 
 TEST(Interp, SourceFeedsSinkOnce)

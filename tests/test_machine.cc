@@ -88,7 +88,7 @@ TEST(Machine, StreamJoinMatchesInterpreter)
     auto k = buildStreamJoin(a, 8, v, 8);
 
     // Untimed reference.
-    std::vector<std::uint8_t> ref_mem = store.raw();
+    ByteBuffer ref_mem = store.raw();
     Interp interp(k.graph, ref_mem);
     auto ref = interp.run();
     ASSERT_TRUE(ref.clean);
