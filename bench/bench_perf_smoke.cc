@@ -1,27 +1,35 @@
 /**
  * @file
  * Harness-throughput smoke bench: compiles a small workload basket,
- * runs the same sweep serially (--jobs 1) and in parallel (--jobs N),
- * checks the two produce bit-identical simulated stats, times an
+ * expands it into a 66-point config sweep, runs it serially and at a
+ * ladder of job counts (pool construction excluded from every timed
+ * window, one untimed warmup pass first), checks that every job
+ * count produces bit-identical simulated stats, times an
  * attribution-on serial pass, and writes BENCH_perf.json — per-point
- * and per-workload timings plus serial-vs-parallel sweep wall-clock —
- * so future PRs can see sweep-throughput regressions.
+ * and per-workload timings plus the serial-vs-parallel scaling curve
+ * — so future PRs can see sweep-throughput regressions.
  *
  * Usage: bench_perf_smoke [--jobs N] [--out PATH] [--guard BASELINE]
  *
  * With --guard, the measured total firings_per_sec is compared
  * against the committed BASELINE json; more than 25% slower fails
- * (exit 1). NUPEA_PERF_GUARD_SKIP=1 skips the comparison (exit 77,
- * the ctest SKIP_RETURN_CODE) for machines where wall-clock is not
- * comparable to the recorded baseline.
+ * (exit 1). On hosts with >= 4 cores the measured harness_speedup at
+ * jobs >= 4 must also reach 1.5 (the parallel-sweep regression gate);
+ * hosts with fewer cores print a note and skip that gate.
+ * NUPEA_PERF_GUARD_SKIP=1 skips every comparison (exit 77, the ctest
+ * SKIP_RETURN_CODE) for machines where wall-clock is not comparable
+ * to the recorded baseline.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/sweep_runner.h"
 
@@ -41,10 +49,21 @@ struct NamedConfig
     int upeaLatency;
 };
 
+/** 11 configs x 6 workloads = 66 points: enough work that the
+ *  parallel harness is measured against real task supply, not the
+ *  18-point basket whose per-task overhead once dominated. */
 const NamedConfig kConfigs[] = {
     {"monaco", MemModel::Monaco, 0},
+    {"upea1", MemModel::Upea, 1},
     {"upea2", MemModel::Upea, 2},
+    {"upea3", MemModel::Upea, 3},
+    {"upea4", MemModel::Upea, 4},
+    {"upea6", MemModel::Upea, 6},
+    {"numa-upea1", MemModel::NumaUpea, 1},
     {"numa-upea2", MemModel::NumaUpea, 2},
+    {"numa-upea3", MemModel::NumaUpea, 3},
+    {"numa-upea4", MemModel::NumaUpea, 4},
+    {"numa-upea6", MemModel::NumaUpea, 6},
 };
 
 /** Simulated results that must not depend on the job count. */
@@ -82,6 +101,15 @@ readBaselineFiringsPerSec(const std::string &path, double &value)
     return value > 0.0;
 }
 
+/** One timed sweep at a fixed job count; the runner (and its thread
+ *  pool) is constructed before the timed window inside runSweep. */
+SweepResult
+timedSweep(int jobs, const std::vector<RunSpec> &specs)
+{
+    SweepRunner runner(SweepOptions{jobs});
+    return runSweep(runner, specs);
+}
+
 } // namespace
 
 int
@@ -105,17 +133,28 @@ main(int argc, char **argv)
         out_path =
             guard_path.empty() ? "BENCH_perf.json" : "BENCH_perf.guard.json";
 
-    SweepRunner parallel_runner(parseSweepArgs(argc, argv));
-    SweepRunner serial_runner(SweepOptions{1});
+    SweepOptions opts = parseSweepArgs(argc, argv, {"--out", "--guard"});
+    // The headline parallel measurement is pinned to 8 jobs (matching
+    // the committed baseline) unless --jobs overrides it; the ladder
+    // below fills in the rest of the scaling curve.
+    const int headline_jobs = opts.jobs > 0 ? opts.jobs : 8;
+    std::vector<int> ladder{2, 4, headline_jobs};
+    std::sort(ladder.begin(), ladder.end());
+    ladder.erase(std::unique(ladder.begin(), ladder.end()),
+                 ladder.end());
+    ladder.erase(std::remove_if(ladder.begin(), ladder.end(),
+                                [](int j) { return j <= 1; }),
+                 ladder.end());
 
-    // Compile the basket once (through the parallel runner).
+    // Compile the basket once, through a pool at the headline width.
+    SweepRunner compile_runner(SweepOptions{headline_jobs});
     std::vector<CompileSpec> cspecs;
     for (const char *name : kBasket)
         cspecs.push_back(
             {name, Topology::makeMonaco(12, 12), CompileOptions{}});
     auto compile_start = std::chrono::steady_clock::now();
     std::vector<CompiledWorkload> compiled =
-        compileAll(parallel_runner, cspecs);
+        compileAll(compile_runner, cspecs);
     double compile_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       compile_start)
@@ -130,8 +169,20 @@ main(int argc, char **argv)
         }
     }
 
+    SweepRunner serial_runner(SweepOptions{1});
+
+    // Untimed warmup: faults the shared images and per-arena pages,
+    // warms code paths, so the timed serial pass is not charged
+    // one-time host costs the parallel passes then skip.
+    runSweep(serial_runner, rspecs);
+
     SweepResult serial = runSweep(serial_runner, rspecs);
-    SweepResult parallel = runSweep(parallel_runner, rspecs);
+
+    std::vector<SweepResult> scaled;
+    scaled.reserve(ladder.size());
+    for (int jobs : ladder)
+        scaled.push_back(timedSweep(jobs, rspecs));
+    const SweepResult &parallel = scaled.back(); // headline jobs
 
     // Same sweep with stall attribution on: the observability tax
     // should stay a small multiple of the plain run.
@@ -142,10 +193,12 @@ main(int argc, char **argv)
 
     bool identical = true;
     for (std::size_t i = 0; i < serial.points.size(); ++i) {
-        if (!sameStats(serial.points[i].run, parallel.points[i].run)) {
-            identical = false;
-            warn("jobs=1 vs jobs=", parallel.jobs,
-                 " stats mismatch at ", serial.points[i].label);
+        for (const SweepResult &sw : scaled) {
+            if (!sameStats(serial.points[i].run, sw.points[i].run)) {
+                identical = false;
+                warn("jobs=1 vs jobs=", sw.jobs, " stats mismatch at ",
+                     serial.points[i].label);
+            }
         }
         if (!sameStats(serial.points[i].run, attr_serial.points[i].run)) {
             identical = false;
@@ -163,6 +216,12 @@ main(int argc, char **argv)
         serial.wallSeconds > 0.0
             ? static_cast<double>(total_firings) / serial.wallSeconds
             : 0.0;
+    auto speedupOf = [&](const SweepResult &sw) {
+        return sw.wallSeconds > 0.0
+                   ? serial.wallSeconds / sw.wallSeconds
+                   : 1.0;
+    };
+    const unsigned host_cpus = std::thread::hardware_concurrency();
 
     std::FILE *f = std::fopen(out_path.c_str(), "w");
     if (!f)
@@ -174,6 +233,7 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < std::size(kConfigs); ++i)
         std::fprintf(f, "%s\"%s\"", i ? ", " : "", kConfigs[i].name);
     std::fprintf(f, "],\n");
+    std::fprintf(f, "  \"host_cpus\": %u,\n", host_cpus);
     std::fprintf(f, "  \"compile_wall_seconds\": %.6f,\n",
                  compile_seconds);
     std::fprintf(
@@ -184,11 +244,24 @@ main(int argc, char **argv)
         "\"attr_serial_wall_seconds\": %.6f, "
         "\"stats_identical\": %s},\n",
         serial.points.size(), serial.wallSeconds, parallel.wallSeconds,
-        parallel.jobs,
-        parallel.wallSeconds > 0.0
-            ? serial.wallSeconds / parallel.wallSeconds
-            : 1.0,
-        attr_serial.wallSeconds, identical ? "true" : "false");
+        parallel.jobs, speedupOf(parallel), attr_serial.wallSeconds,
+        identical ? "true" : "false");
+
+    // The scaling curve: wall seconds and speedup per job count.
+    std::fprintf(f, "  \"scaling\": [\n");
+    std::fprintf(f,
+                 "    {\"jobs\": 1, \"wall_seconds\": %.6f, "
+                 "\"speedup\": 1.000},\n",
+                 serial.wallSeconds);
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+        std::fprintf(f,
+                     "    {\"jobs\": %d, \"wall_seconds\": %.6f, "
+                     "\"speedup\": %.3f}%s\n",
+                     scaled[i].jobs, scaled[i].wallSeconds,
+                     speedupOf(scaled[i]),
+                     i + 1 < scaled.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
 
     // Per-workload aggregates over the config sweep (serial pass).
     std::fprintf(f, "  \"workloads\": {\n");
@@ -245,14 +318,12 @@ main(int argc, char **argv)
     std::fprintf(f, "}\n");
     std::fclose(f);
 
-    std::printf("perf_smoke: %zu points, serial %.3fs, parallel %.3fs "
-                "on %d jobs (%.2fx), attribution-on serial %.3fs, "
-                "stats identical: %s\n",
-                serial.points.size(), serial.wallSeconds,
-                parallel.wallSeconds, parallel.jobs,
-                parallel.wallSeconds > 0.0
-                    ? serial.wallSeconds / parallel.wallSeconds
-                    : 1.0,
+    std::printf("perf_smoke: %zu points, serial %.3fs; scaling:",
+                serial.points.size(), serial.wallSeconds);
+    for (const SweepResult &sw : scaled)
+        std::printf(" jobs=%d %.3fs (%.2fx)", sw.jobs, sw.wallSeconds,
+                    speedupOf(sw));
+    std::printf("; attribution-on serial %.3fs, stats identical: %s\n",
                 attr_serial.wallSeconds, identical ? "yes" : "NO");
     std::printf("wrote %s\n", out_path.c_str());
     if (!identical)
@@ -272,6 +343,31 @@ main(int argc, char **argv)
             warn("perf guard: sweep is ", ratio,
                  "x slower than the committed baseline (limit 1.25x)");
             return 1;
+        }
+
+        // Parallel-scaling gate: the fixed scheduler must beat serial
+        // by 1.5x at every measured jobs >= 4 — but only where the
+        // host can physically provide the parallelism.
+        if (host_cpus >= 4) {
+            for (const SweepResult &sw : scaled) {
+                if (sw.jobs < 4)
+                    continue;
+                double speedup = speedupOf(sw);
+                std::printf("perf guard: harness_speedup %.2fx at "
+                            "jobs=%d (floor 1.50x)\n",
+                            speedup, sw.jobs);
+                if (speedup < 1.5) {
+                    warn("perf guard: parallel sweep regression: ",
+                         speedup, "x speedup at jobs=", sw.jobs,
+                         " (floor 1.5x; set NUPEA_PERF_GUARD_SKIP=1 "
+                         "on incomparable machines)");
+                    return 1;
+                }
+            }
+        } else {
+            std::printf("perf guard: host has %u cpu(s); skipping the "
+                        "jobs>=4 harness_speedup gate\n",
+                        host_cpus);
         }
     }
     return 0;

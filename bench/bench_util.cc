@@ -96,19 +96,26 @@ compileWorkload(const std::string &name, const Topology &topo,
 BenchRun
 runCompiled(const CompiledWorkload &cw, MachineConfig config)
 {
+    BackingStore store(config.memsys.memBytes);
+    return runCompiled(cw, config, store);
+}
+
+BenchRun
+runCompiled(const CompiledWorkload &cw, MachineConfig config,
+            BackingStore &store)
+{
     // Clone the compile-time image instead of calling init() again:
     // init() mutates the workload's expectation bookkeeping, and a
-    // shared CompiledWorkload may be running on several threads.
-    BackingStore store(config.memsys.memBytes);
+    // shared CompiledWorkload may be running on several threads. The
+    // store may be recycled from a previous point; resetTo scrubs
+    // exactly the span storeWord() dirtied.
     NUPEA_ASSERT(cw.image.size() > 0,
                  cw.workload->name(), ": run before compileWorkload");
     NUPEA_ASSERT(cw.image.allocated() <= store.size(),
                  cw.workload->name(), ": image needs ",
                  cw.image.allocated(), " bytes, config grants ",
                  store.size());
-    std::copy_n(cw.image.raw().begin(),
-                static_cast<std::ptrdiff_t>(cw.image.allocated()),
-                store.raw().begin());
+    store.resetTo(cw.image);
 
     Machine machine(cw.graph, cw.pnr.placement, cw.topo, config, store);
     RunResult r = machine.run();

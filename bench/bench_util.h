@@ -101,6 +101,53 @@ BenchRun runCompiled(const CompiledWorkload &cw,
                      MachineConfig config = MachineConfig{});
 
 /**
+ * Same, but on a caller-provided store (recycled across points by
+ * the sweep runner's per-worker arenas): the store is resetTo() the
+ * compiled image first, which restores an exact fresh-clone state as
+ * long as every write since the last reset went through storeWord()
+ * — true of the Machine, whose only store writes are MemorySystem
+ * word stores. Simulated results are bit-identical to the fresh-
+ * store overload (enforced by test_golden_stats).
+ */
+BenchRun runCompiled(const CompiledWorkload &cw, MachineConfig config,
+                     BackingStore &store);
+
+/**
+ * A worker-private reusable BackingStore. acquire() allocates (and
+ * pre-faults the image span of) the store on first use or on a
+ * capacity change; afterwards the same mapping is recycled, so a
+ * sweep pays one mmap per worker instead of one mmap/munmap per
+ * point — the kernel-side churn that made the jobs=8 sweep slower
+ * than serial on tiny points.
+ */
+class StoreArena
+{
+  public:
+    /** A store of exactly `bytes` capacity, pages for the first
+     *  `prefaultBytes` already faulted in. Contents unspecified;
+     *  callers reset it per run (see runCompiled above). */
+    BackingStore &
+    acquire(std::size_t bytes, std::size_t prefaultBytes)
+    {
+        if (!store_ || store_->size() != bytes) {
+            store_ = std::make_unique<BackingStore>(bytes);
+            prefaulted_ = 0;
+        }
+        if (prefaultBytes > store_->size())
+            prefaultBytes = store_->size();
+        if (prefaultBytes > prefaulted_) {
+            store_->prefault(prefaultBytes);
+            prefaulted_ = prefaultBytes;
+        }
+        return *store_;
+    }
+
+  private:
+    std::unique_ptr<BackingStore> store_;
+    std::size_t prefaulted_ = 0;
+};
+
+/**
  * Print a stall-attribution table for one run (requires the run to
  * have been executed with stallAttribution): per-FU-class cycles by
  * StallReason, the busiest memory nodes, and the criticality-rank

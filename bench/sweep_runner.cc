@@ -8,6 +8,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <system_error>
 
 #include "common/log.h"
 #include "sim/trace.h"
@@ -43,6 +44,43 @@ parseJobsValue(const std::string &text)
     }
 }
 
+void
+printUsage(std::FILE *to, const char *prog,
+           const std::vector<std::string> &extraValueOpts,
+           const std::vector<std::string> &extraFlags)
+{
+    std::fprintf(to,
+                 "usage: %s [options]\n"
+                 "  --jobs N | -j N | -jN   worker threads (default: "
+                 "NUPEA_BENCH_JOBS, else core count)\n"
+                 "  --stall-report          per-point stall-attribution "
+                 "tables after the sweep\n"
+                 "  --trace-out DIR         one Chrome trace_event JSON "
+                 "per point into DIR\n"
+                 "  --verify | --no-verify  static verifier on every "
+                 "compilation (default on)\n"
+                 "  --help | -h             this message\n",
+                 prog);
+    for (const std::string &opt : extraValueOpts)
+        std::fprintf(to, "  %s VALUE\n", opt.c_str());
+    for (const std::string &opt : extraFlags)
+        std::fprintf(to, "  %s\n", opt.c_str());
+}
+
+/** Worker index of the pool currently executing on this thread. */
+thread_local int tlsWorkerId = -1;
+
+/** Scoped tlsWorkerId assignment for inline (jobs=1) batches. */
+struct ScopedWorkerId
+{
+    explicit ScopedWorkerId(int wid) : saved(tlsWorkerId)
+    {
+        tlsWorkerId = wid;
+    }
+    ~ScopedWorkerId() { tlsWorkerId = saved; }
+    int saved;
+};
+
 } // namespace
 
 int
@@ -57,8 +95,28 @@ defaultJobs()
 }
 
 SweepOptions
-parseSweepArgs(int argc, char **argv)
+parseSweepArgs(int argc, char **argv,
+               const std::vector<std::string> &extraValueOpts,
+               const std::vector<std::string> &extraFlags)
 {
+    auto matchesExtraValue = [&](const std::string &arg, int &i) {
+        for (const std::string &opt : extraValueOpts) {
+            if (arg == opt) {
+                if (i + 1 >= argc)
+                    fatal(arg, " expects a value");
+                ++i;
+                return true;
+            }
+            if (arg.rfind(opt + "=", 0) == 0)
+                return true;
+        }
+        return false;
+    };
+    auto matchesExtraFlag = [&](const std::string &arg) {
+        return std::find(extraFlags.begin(), extraFlags.end(), arg) !=
+               extraFlags.end();
+    };
+
     SweepOptions opts;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -82,6 +140,14 @@ parseSweepArgs(int argc, char **argv)
             opts.verify = true;
         } else if (arg == "--no-verify") {
             opts.verify = false;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout, argv[0], extraValueOpts, extraFlags);
+            std::exit(0);
+        } else if (matchesExtraValue(arg, i) || matchesExtraFlag(arg)) {
+            // Bench-specific; handled by the caller.
+        } else if (arg.size() > 1 && arg[0] == '-') {
+            printUsage(stderr, argv[0], extraValueOpts, extraFlags);
+            fatal("unrecognized argument '", arg, "'");
         }
     }
     return opts;
@@ -92,7 +158,9 @@ SweepRunner::SweepRunner(SweepOptions options)
       jobs_(options.jobs > 0 ? options.jobs : defaultJobs())
 {
     if (jobs_ > 1) {
-        deques_.resize(static_cast<std::size_t>(jobs_));
+        shards_.reserve(static_cast<std::size_t>(jobs_));
+        for (int w = 0; w < jobs_; ++w)
+            shards_.push_back(std::make_unique<Shard>());
         workers_.reserve(static_cast<std::size_t>(jobs_));
         for (int w = 0; w < jobs_; ++w) {
             workers_.emplace_back(
@@ -114,11 +182,47 @@ SweepRunner::~SweepRunner()
     }
 }
 
+int
+SweepRunner::currentWorker()
+{
+    return tlsWorkerId;
+}
+
+void
+SweepRunner::executeTask(std::size_t task)
+{
+    if (poisoned_.load(std::memory_order_relaxed)) {
+        skipped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    try {
+        batch_[task]();
+    } catch (...) {
+        errors_[task] = std::current_exception();
+        poisoned_.store(true, std::memory_order_relaxed);
+    }
+}
+
 void
 SweepRunner::runBatchInline()
 {
+    ScopedWorkerId scope(0);
     for (std::size_t i = 0; i < batch_.size(); ++i)
-        runTask(i);
+        executeTask(i);
+}
+
+void
+SweepRunner::rethrowFirstError()
+{
+    batch_.clear();
+    for (std::exception_ptr &err : errors_) {
+        if (err) {
+            std::exception_ptr first = err;
+            errors_.clear();
+            std::rethrow_exception(first);
+        }
+    }
+    errors_.clear();
 }
 
 void
@@ -129,104 +233,121 @@ SweepRunner::runAll(std::vector<std::function<void()>> tasks)
 
     batch_ = std::move(tasks);
     errors_.assign(batch_.size(), nullptr);
+    poisoned_.store(false, std::memory_order_relaxed);
+    skipped_.store(0, std::memory_order_relaxed);
 
     if (workers_.empty()) {
         runBatchInline();
     } else {
+        const std::size_t n = batch_.size();
+        // ~4 chunks per worker: big enough to amortize per-chunk
+        // scheduling over tiny points, small enough that stealing
+        // can still balance an uneven batch.
+        const std::size_t grain = std::max<std::size_t>(
+            1, n / (4 * static_cast<std::size_t>(jobs_)));
+
+        // Publish the task count before any chunk is visible.
+        remaining_.store(n, std::memory_order_relaxed);
+
+        // Deal contiguous chunks round-robin. Shard locks, not the
+        // global mutex: the batch_/errors_ writes above happen-before
+        // any worker's take through the same shard lock.
+        std::size_t shard = 0;
+        for (std::size_t begin = 0; begin < n; begin += grain) {
+            Chunk chunk{begin, std::min(begin + grain, n)};
+            Shard &s = *shards_[shard++ % shards_.size()];
+            std::lock_guard<std::mutex> lock(s.mu);
+            s.chunks.push_back(chunk);
+        }
+
         {
             std::lock_guard<std::mutex> lock(mu_);
-            // Deal round-robin so every worker starts with a share.
-            for (std::size_t i = 0; i < batch_.size(); ++i)
-                deques_[i % deques_.size()].push_back(i);
-            queued_ = batch_.size();
-            inFlight_ = 0;
             ++epoch_;
         }
         cvWork_.notify_all();
+
         {
             std::unique_lock<std::mutex> lock(mu_);
-            cvDone_.wait(lock,
-                         [this] { return queued_ == 0 && inFlight_ == 0; });
+            cvDone_.wait(lock, [this] {
+                return remaining_.load(std::memory_order_acquire) == 0;
+            });
         }
     }
 
-    batch_.clear();
-    for (std::exception_ptr &err : errors_) {
-        if (err) {
-            std::exception_ptr first = err;
-            errors_.clear();
-            std::rethrow_exception(first);
-        }
-    }
+    rethrowFirstError();
 }
 
 bool
-SweepRunner::take(std::size_t wid, std::size_t &task)
+SweepRunner::takeChunk(std::size_t wid, Chunk &out)
 {
-    // Caller holds mu_.
-    std::deque<std::size_t> &own = deques_[wid];
-    if (!own.empty()) {
-        task = own.back(); // LIFO on the owner: warm caches
-        own.pop_back();
-        return true;
-    }
-    // Steal from the front of the longest peer deque.
-    std::size_t victim = deques_.size();
-    std::size_t best = 0;
-    for (std::size_t v = 0; v < deques_.size(); ++v) {
-        if (v != wid && deques_[v].size() > best) {
-            best = deques_[v].size();
-            victim = v;
+    Shard &own = *shards_[wid];
+    for (;;) {
+        {
+            std::lock_guard<std::mutex> lock(own.mu);
+            if (!own.chunks.empty()) {
+                // Owners drain front-to-back: chunks were dealt in
+                // submission order and nothing is spawned mid-batch.
+                out = own.chunks.front();
+                own.chunks.pop_front();
+                return true;
+            }
         }
+        // Steal from the opposite end of the first available peer.
+        bool contended = false;
+        for (std::size_t k = 1; k < shards_.size(); ++k) {
+            Shard &victim = *shards_[(wid + k) % shards_.size()];
+            std::unique_lock<std::mutex> lock(victim.mu,
+                                              std::try_to_lock);
+            if (!lock.owns_lock()) {
+                contended = true;
+                continue;
+            }
+            if (victim.chunks.empty())
+                continue;
+            out = victim.chunks.back();
+            victim.chunks.pop_back();
+            return true;
+        }
+        if (!contended)
+            return false; // every shard is drained
+        std::this_thread::yield();
     }
-    if (victim == deques_.size())
-        return false;
-    task = deques_[victim].front(); // FIFO on thieves: oldest work
-    deques_[victim].pop_front();
-    return true;
 }
 
 void
-SweepRunner::runTask(std::size_t task)
+SweepRunner::runChunk(const Chunk &chunk)
 {
-    try {
-        batch_[task]();
-    } catch (...) {
-        errors_[task] = std::current_exception();
+    for (std::size_t i = chunk.begin; i < chunk.end; ++i)
+        executeTask(i);
+    std::size_t count = chunk.end - chunk.begin;
+    if (remaining_.fetch_sub(count, std::memory_order_acq_rel) ==
+        count) {
+        // Last chunk of the batch: wake the submitting thread. The
+        // lock pairs with cvDone_.wait's predicate check so the
+        // notification cannot be lost.
+        std::lock_guard<std::mutex> lock(mu_);
+        cvDone_.notify_all();
     }
 }
 
 void
 SweepRunner::workerLoop(std::size_t wid)
 {
+    tlsWorkerId = static_cast<int>(wid);
     std::uint64_t seen_epoch = 0;
     for (;;) {
-        std::size_t task = 0;
         {
             std::unique_lock<std::mutex> lock(mu_);
-            cvWork_.wait(lock, [this, &seen_epoch] {
-                return shutdown_ || queued_ > 0 || epoch_ != seen_epoch;
+            cvWork_.wait(lock, [this, seen_epoch] {
+                return shutdown_ || epoch_ != seen_epoch;
             });
+            if (shutdown_)
+                return;
             seen_epoch = epoch_;
-            if (queued_ == 0) {
-                if (shutdown_)
-                    return;
-                continue;
-            }
-            if (!take(wid, task))
-                continue;
-            --queued_;
-            ++inFlight_;
         }
-
-        runTask(task);
-
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            --inFlight_;
-            if (queued_ == 0 && inFlight_ == 0)
-                cvDone_.notify_all();
-        }
+        Chunk chunk;
+        while (takeChunk(wid, chunk))
+            runChunk(chunk);
     }
 }
 
@@ -257,11 +378,73 @@ sanitizeLabel(const std::string &label)
     return out.empty() ? "point" : out;
 }
 
-/** Per-point trace file + sink, kept alive for the point's run. */
-struct PointTrace
+/**
+ * Per-point trace files + sinks, finished via RAII: if the sweep
+ * throws mid-batch, the destructor closes every sink and removes the
+ * partial files, so no truncated, invalid JSON survives on disk.
+ */
+class TraceFiles
 {
-    std::ofstream os;
-    std::unique_ptr<ChromeTraceSink> sink;
+  public:
+    struct Slot
+    {
+        std::ofstream os;
+        std::unique_ptr<ChromeTraceSink> sink;
+        std::filesystem::path path;
+    };
+
+    explicit TraceFiles(std::size_t points) : slots_(points) {}
+
+    ~TraceFiles()
+    {
+        for (std::unique_ptr<Slot> &slot : slots_) {
+            if (slot && slot->sink)
+                slot->sink->finish();
+        }
+        if (completed_)
+            return;
+        for (std::unique_ptr<Slot> &slot : slots_) {
+            if (!slot)
+                continue;
+            slot->os.close();
+            std::error_code ec;
+            std::filesystem::remove(slot->path, ec);
+        }
+    }
+
+    /** Open `<dir>/<label>.trace.json` and attach a sink for point
+     *  `index`; returns the sink to hook into the point's config. */
+    ChromeTraceSink *
+    open(std::size_t index, const std::string &dir,
+         const std::string &label)
+    {
+        auto slot = std::make_unique<Slot>();
+        slot->path = std::filesystem::path(dir) /
+                     (sanitizeLabel(label) + ".trace.json");
+        slot->os.open(slot->path);
+        if (!slot->os)
+            fatal("cannot open trace file ", slot->path.string());
+        slot->sink = std::make_unique<ChromeTraceSink>(slot->os);
+        ChromeTraceSink *sink = slot->sink.get();
+        slots_[index] = std::move(slot);
+        return sink;
+    }
+
+    /** Close every sink's JSON document; the files are now valid and
+     *  the destructor will keep them. */
+    void
+    finishAll()
+    {
+        for (std::unique_ptr<Slot> &slot : slots_) {
+            if (slot && slot->sink)
+                slot->sink->finish();
+        }
+        completed_ = true;
+    }
+
+  private:
+    std::vector<std::unique_ptr<Slot>> slots_;
+    bool completed_ = false;
 };
 
 } // namespace
@@ -274,7 +457,12 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
         std::filesystem::create_directories(opts.traceDir);
 
     // One slot per point so concurrent workers never share a stream.
-    std::vector<std::unique_ptr<PointTrace>> traces(specs.size());
+    TraceFiles traces(specs.size());
+
+    // One reusable, pre-faulted BackingStore per worker; the compiled
+    // image itself is shared read-only across all workers.
+    std::vector<StoreArena> arenas(
+        static_cast<std::size_t>(runner.jobs()));
 
     std::vector<std::function<PointResult()>> tasks;
     tasks.reserve(specs.size());
@@ -285,24 +473,22 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
         MachineConfig config = spec.config;
         if (opts.observing())
             config.stallAttribution = true;
-        if (!opts.traceDir.empty()) {
-            std::filesystem::path path =
-                std::filesystem::path(opts.traceDir) /
-                (sanitizeLabel(spec.label) + ".trace.json");
-            auto trace = std::make_unique<PointTrace>();
-            trace->os.open(path);
-            if (!trace->os)
-                fatal("cannot open trace file ", path.string());
-            trace->sink = std::make_unique<ChromeTraceSink>(trace->os);
-            config.trace = trace->sink.get();
-            traces[i] = std::move(trace);
-        }
+        if (!opts.traceDir.empty())
+            config.trace = traces.open(i, opts.traceDir, spec.label);
 
-        tasks.push_back([&spec, config]() {
+        tasks.push_back([&spec, &arenas, config]() {
             auto start = std::chrono::steady_clock::now();
             PointResult point;
             point.label = spec.label;
-            point.run = runCompiled(*spec.cw, config);
+            int worker = SweepRunner::currentWorker();
+            NUPEA_ASSERT(worker >= 0 &&
+                             static_cast<std::size_t>(worker) <
+                                 arenas.size(),
+                         "sweep point outside a pool worker");
+            BackingStore &store =
+                arenas[static_cast<std::size_t>(worker)].acquire(
+                    config.memsys.memBytes, spec.cw->image.allocated());
+            point.run = runCompiled(*spec.cw, config, store);
             point.wallSeconds = secondsSince(start);
             return point;
         });
@@ -314,10 +500,7 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
     sweep.points = runner.map(std::move(tasks));
     sweep.wallSeconds = secondsSince(start);
 
-    for (std::unique_ptr<PointTrace> &trace : traces) {
-        if (trace)
-            trace->sink->finish();
-    }
+    traces.finishAll();
     if (!opts.traceDir.empty())
         std::printf("[trace] wrote %zu Chrome trace files to %s\n",
                     specs.size(), opts.traceDir.c_str());

@@ -4,16 +4,35 @@
  *
  * Every figure sweep is a set of (compiled workload, machine config)
  * points; each point is a pure function of its inputs — a fresh
- * Machine over a cloned BackingStore image — so points execute
- * concurrently on a small work-stealing thread pool and aggregate
- * deterministically in submission order. Simulated results are
- * bit-identical for any job count (enforced by test_golden_stats);
+ * Machine over a BackingStore reset to the compiled image — so points
+ * execute concurrently on a small work-stealing thread pool and
+ * aggregate deterministically in submission order. Simulated results
+ * are bit-identical for any job count (enforced by test_golden_stats);
  * only harness wall-clock changes.
  *
- * Thread-safety contract leaned on here (audited in this PR):
+ * Scheduler shape (reworked after the jobs=8 sweep measured *slower*
+ * than serial on tiny points):
+ *  - Sharded queues: one deque per worker, each behind its own
+ *    mutex. Owners pop their front; thieves scan peers and pop the
+ *    back. The global mutex is touched only to park idle workers
+ *    between batches and to signal batch completion — never per task.
+ *  - Chunking: a batch of n tasks is dealt as contiguous chunks of
+ *    `max(1, n / (4 * jobs))` tasks, so per-task scheduling overhead
+ *    amortizes over many tiny sweep points while leaving ~4 chunks
+ *    per worker for stealing to balance.
+ *  - Atomic accounting: the remaining-task count is a single atomic
+ *    counter; the last decrement signals the submitting thread.
+ *  - Fail-fast: the first task exception poisons the batch. Workers
+ *    still drain every queued chunk, but un-started tasks are skipped
+ *    (and counted — see skippedLast()); the first-submitted recorded
+ *    exception is re-thrown from runAll() after the drain.
+ *
+ * Thread-safety contract leaned on here (audited with the original
+ * pool PR):
  *  - CompiledWorkload is immutable after compileWorkload(): runs
- *    clone its baked memory image instead of re-running the
- *    workload's init(), and Workload::verify() is const.
+ *    reset a per-worker BackingStore to its baked memory image
+ *    instead of re-running the workload's init(), and
+ *    Workload::verify() is const.
  *  - Machine, MemorySystem, MemAccessModel, StatSet and Rng hold all
  *    state per instance; the library has no mutable globals (the only
  *    function-local static is the const workloadNames() vector, whose
@@ -25,11 +44,13 @@
 #ifndef NUPEA_BENCH_SWEEP_RUNNER_H
 #define NUPEA_BENCH_SWEEP_RUNNER_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -74,16 +95,24 @@ int defaultJobs();
 
 /**
  * Parse --jobs N / --jobs=N / -j N / -jN, --stall-report,
- * --trace-out DIR / --trace-out=DIR, and --verify / --no-verify
- * (other args are ignored).
+ * --trace-out DIR / --trace-out=DIR, and --verify / --no-verify.
+ * --help / -h prints the usage message and exits 0. Any other
+ * `-`/`--` argument is fatal() with the usage message — a typo like
+ * `--job 8` must not silently run serial. Benches with their own
+ * flags list them in `extraValueOpts` (options that consume one
+ * value, accepted as `--opt VALUE` or `--opt=VALUE`) and
+ * `extraFlags` (bare switches); both are skipped here and shown in
+ * the usage text.
  */
-SweepOptions parseSweepArgs(int argc, char **argv);
+SweepOptions
+parseSweepArgs(int argc, char **argv,
+               const std::vector<std::string> &extraValueOpts = {},
+               const std::vector<std::string> &extraFlags = {});
 
 /**
- * A small work-stealing thread pool. Tasks are dealt round-robin
- * onto per-worker deques; a worker pops its own deque LIFO and
- * steals FIFO from the busiest peer when empty. With jobs == 1 the
- * batch runs inline on the calling thread (the exact serial path).
+ * A small work-stealing thread pool with sharded queues (see the
+ * file comment for the scheduling shape). With jobs == 1 the batch
+ * runs inline on the calling thread (the exact serial path).
  */
 class SweepRunner
 {
@@ -98,11 +127,28 @@ class SweepRunner
     const SweepOptions &options() const { return options_; }
 
     /**
+     * The executing pool's worker index for the current thread:
+     * 0..jobs-1 on pool threads (and on the calling thread while an
+     * inline jobs=1 batch runs), -1 elsewhere. Tasks use it to index
+     * per-worker scratch state — e.g. runSweep's BackingStore
+     * arenas — without any locking.
+     */
+    static int currentWorker();
+
+    /**
      * Execute every task to completion (blocks). If any task threw,
-     * the first-submitted exception is re-thrown here after the
-     * whole batch has drained.
+     * the batch is poisoned — tasks not yet started are skipped —
+     * and the first-submitted recorded exception is re-thrown here
+     * after the whole batch has drained.
      */
     void runAll(std::vector<std::function<void()>> tasks);
+
+    /** Tasks skipped by fail-fast poisoning in the last batch. */
+    std::size_t
+    skippedLast() const
+    {
+        return skipped_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Parallel map with submission-ordered results. T must be
@@ -122,25 +168,50 @@ class SweepRunner
     }
 
   private:
+    /** A contiguous [begin, end) slice of the current batch. */
+    struct Chunk
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+    };
+
+    /** One worker's queue; own mutex so takes never serialize the
+     *  whole pool. Heap-allocated (and padded) per worker so shards
+     *  sit on distinct cache lines. */
+    struct alignas(64) Shard
+    {
+        std::mutex mu;
+        std::deque<Chunk> chunks;
+    };
+
     void workerLoop(std::size_t wid);
-    /** Pop own back, else steal the busiest peer's front. */
-    bool take(std::size_t wid, std::size_t &task);
-    void runTask(std::size_t task);
+    /** Pop own front, else steal a peer's back; retries while any
+     *  peer lock is contended so no queued chunk is stranded. */
+    bool takeChunk(std::size_t wid, Chunk &out);
+    void runChunk(const Chunk &chunk);
+    /** Run one task, recording errors and honoring poisoning. */
+    void executeTask(std::size_t task);
     void runBatchInline();
+    void rethrowFirstError();
 
     SweepOptions options_;
     int jobs_;
+    std::vector<std::unique_ptr<Shard>> shards_;
     std::vector<std::thread> workers_;
 
-    std::mutex mu_; ///< guards everything below
+    /** Current batch; written by runAll before chunks are dealt, so
+     *  every worker access is ordered by a shard mutex acquire. */
+    std::vector<std::function<void()>> batch_;
+    std::vector<std::exception_ptr> errors_; ///< slot per task
+
+    std::atomic<std::size_t> remaining_{0}; ///< not yet run/skipped
+    std::atomic<bool> poisoned_{false};     ///< a task threw
+    std::atomic<std::size_t> skipped_{0};   ///< fail-fast skips
+
+    std::mutex mu_; ///< parks idle workers; guards epoch_/shutdown_
     std::condition_variable cvWork_;
     std::condition_variable cvDone_;
-    std::vector<std::deque<std::size_t>> deques_;
-    std::vector<std::function<void()>> batch_;
-    std::vector<std::exception_ptr> errors_;
-    std::size_t inFlight_ = 0;  ///< tasks taken but not finished
-    std::size_t queued_ = 0;    ///< tasks still in deques
-    std::uint64_t epoch_ = 0;   ///< bumped per runAll batch
+    std::uint64_t epoch_ = 0; ///< bumped per runAll batch
     bool shutdown_ = false;
 };
 
@@ -173,11 +244,16 @@ struct SweepResult
 };
 
 /**
- * Execute every spec through the runner; results in spec order.
- * When the runner's options request observability, every point runs
- * with stall attribution (and, with a trace directory, writes
- * `<dir>/<label>.trace.json`); per-point stall reports print after
- * the sweep drains, in submission order.
+ * Execute every spec through the runner; results in spec order. The
+ * compiled image is shared read-only across workers: each worker
+ * reuses one pre-faulted BackingStore arena, reset to the point's
+ * image before every run (see BackingStore::resetTo), instead of
+ * mapping a fresh store per point. When the runner's options request
+ * observability, every point runs with stall attribution (and, with
+ * a trace directory, writes `<dir>/<label>.trace.json`); per-point
+ * stall reports print after the sweep drains, in submission order.
+ * If the sweep throws, partially-written trace files are removed
+ * rather than left as truncated, invalid JSON.
  */
 SweepResult runSweep(SweepRunner &runner,
                      const std::vector<RunSpec> &specs);

@@ -7,6 +7,7 @@
 #ifndef NUPEA_MEMORY_BACKING_STORE_H
 #define NUPEA_MEMORY_BACKING_STORE_H
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/byte_buffer.h"
@@ -46,6 +47,8 @@ class BackingStore
     {
         NUPEA_ASSERT(addr + 4 <= bytes_.size(), "store OOB at ", addr);
         NUPEA_ASSERT((addr & 3) == 0, "unaligned store at ", addr);
+        if (addr + 4 > dirty_)
+            dirty_ = addr + 4;
         auto v = static_cast<std::uint32_t>(value);
         bytes_[addr] = static_cast<std::uint8_t>(v);
         bytes_[addr + 1] = static_cast<std::uint8_t>(v >> 8);
@@ -79,6 +82,49 @@ class BackingStore
     /** Bytes allocated so far. */
     std::size_t allocated() const { return next_; }
 
+    /**
+     * High-water mark of bytes written through storeWord() since
+     * construction or the last resetTo() — the span resetTo() must
+     * scrub to restore the store to a fresh-clone state. Writes made
+     * directly through raw() are NOT tracked; a store mutated that
+     * way must not be recycled with resetTo().
+     */
+    std::size_t dirtyBytes() const { return dirty_; }
+
+    /**
+     * Reinitialize this store to an exact clone of `image`: bytes
+     * [0, image.allocated()) copy the image, every byte above reads
+     * zero, and the bump allocator resumes where the image's did.
+     * Only the storeWord-dirtied span is scrubbed, so recycling a
+     * store across sweep points costs O(bytes actually touched)
+     * instead of a fresh 8 MiB mapping per point (whose munmap/mmap
+     * churn serializes concurrent workers on the kernel's mm lock).
+     */
+    void
+    resetTo(const BackingStore &image)
+    {
+        std::size_t keep = image.allocated();
+        NUPEA_ASSERT(keep <= image.bytes_.size(),
+                     "resetTo from an empty/unsized image");
+        NUPEA_ASSERT(keep <= bytes_.size(), "image needs ", keep,
+                     " bytes, store holds ", bytes_.size());
+        if (dirty_ > keep)
+            std::fill(bytes_.begin() + static_cast<std::ptrdiff_t>(keep),
+                      bytes_.begin() + static_cast<std::ptrdiff_t>(dirty_),
+                      std::uint8_t{0});
+        std::copy_n(image.bytes_.begin(),
+                    static_cast<std::ptrdiff_t>(keep), bytes_.begin());
+        dirty_ = keep;
+        next_ = image.next_;
+    }
+
+    /** Fault in the backing pages of [0, limit) ahead of timed use. */
+    void
+    prefault(std::size_t limit)
+    {
+        prefaultPages(bytes_, 0, limit);
+    }
+
     /** Access the raw bytes (e.g., for the untimed interpreter). */
     ByteBuffer &raw() { return bytes_; }
     const ByteBuffer &raw() const { return bytes_; }
@@ -86,6 +132,7 @@ class BackingStore
   private:
     ByteBuffer bytes_;
     std::size_t next_ = 64;
+    std::size_t dirty_ = 0; ///< storeWord high-water mark
 };
 
 } // namespace nupea

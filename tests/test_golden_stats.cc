@@ -12,15 +12,12 @@
  *     --jobs 1 and --jobs 8 must produce bit-identical per-point
  *     stats, proving the work-stealing runner cannot perturb results.
  *
- * Plus unit tests for the SweepRunner itself (ordering, stealing
- * under imbalance, exception propagation). These tests carry the
- * `tsan` ctest label and are the core of the build-tsan preset.
+ * Unit tests for the SweepRunner scheduler itself live in
+ * test_sweep_runner.cc; both files carry the `tsan` ctest label and
+ * are the core of the build-tsan preset.
  */
 
 #include <gtest/gtest.h>
-
-#include <chrono>
-#include <thread>
 
 #include "bench/sweep_runner.h"
 
@@ -128,81 +125,6 @@ TEST(GoldenStats, SerialAndParallelSweepsAreBitIdentical)
         // Full machine stat sets: every counter, same values.
         EXPECT_EQ(s.stats.counters(), p.stats.counters()) << ctx;
     }
-}
-
-TEST(SweepRunnerTest, MapPreservesSubmissionOrder)
-{
-    SweepRunner runner(SweepOptions{8});
-    constexpr int kTasks = 64;
-    std::vector<std::function<int()>> tasks;
-    for (int i = 0; i < kTasks; ++i) {
-        tasks.push_back([i]() {
-            // Imbalanced task lengths exercise stealing.
-            if (i % 7 == 0) {
-                std::this_thread::sleep_for(
-                    std::chrono::milliseconds(2));
-            }
-            return i * i;
-        });
-    }
-    std::vector<int> out = runner.map(std::move(tasks));
-    ASSERT_EQ(out.size(), static_cast<std::size_t>(kTasks));
-    for (int i = 0; i < kTasks; ++i)
-        EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
-}
-
-TEST(SweepRunnerTest, ReusableAcrossBatches)
-{
-    SweepRunner runner(SweepOptions{4});
-    for (int batch = 0; batch < 3; ++batch) {
-        std::vector<std::function<int()>> tasks;
-        for (int i = 0; i < 16; ++i)
-            tasks.push_back([batch, i]() { return batch * 100 + i; });
-        std::vector<int> out = runner.map(std::move(tasks));
-        for (int i = 0; i < 16; ++i)
-            EXPECT_EQ(out[static_cast<std::size_t>(i)],
-                      batch * 100 + i);
-    }
-}
-
-TEST(SweepRunnerTest, PropagatesFirstSubmittedError)
-{
-    SweepRunner runner(SweepOptions{8});
-    std::vector<std::function<int()>> tasks;
-    for (int i = 0; i < 32; ++i) {
-        tasks.push_back([i]() -> int {
-            if (i == 3 || i == 7)
-                fatal("task ", i, " failed");
-            return i;
-        });
-    }
-    try {
-        runner.map(std::move(tasks));
-        FAIL() << "expected FatalError";
-    } catch (const FatalError &err) {
-        EXPECT_NE(std::string(err.what()).find("task 3"),
-                  std::string::npos)
-            << err.what();
-    }
-}
-
-TEST(SweepRunnerTest, JobsResolution)
-{
-    // Explicit jobs win.
-    EXPECT_EQ(SweepRunner(SweepOptions{3}).jobs(), 3);
-    // --jobs parsing in its spellings.
-    const char *argv1[] = {"bench", "--jobs", "5"};
-    EXPECT_EQ(parseSweepArgs(3, const_cast<char **>(argv1)).jobs, 5);
-    const char *argv2[] = {"bench", "--jobs=6"};
-    EXPECT_EQ(parseSweepArgs(2, const_cast<char **>(argv2)).jobs, 6);
-    const char *argv3[] = {"bench", "-j4"};
-    EXPECT_EQ(parseSweepArgs(2, const_cast<char **>(argv3)).jobs, 4);
-    const char *argv4[] = {"bench", "-j", "2"};
-    EXPECT_EQ(parseSweepArgs(3, const_cast<char **>(argv4)).jobs, 2);
-    // No flag: deferred to env/hardware.
-    const char *argv5[] = {"bench"};
-    EXPECT_EQ(parseSweepArgs(1, const_cast<char **>(argv5)).jobs, 0);
-    EXPECT_GE(defaultJobs(), 1);
 }
 
 } // namespace
