@@ -45,6 +45,8 @@
 #include "verify/rates.h"
 #include "verify/structural.h"
 #include "verify/verify.h"
+#include "workloads/gen/gen_spec.h"
+#include "workloads/gen/gen_workload.h"
 #include "workloads/workload.h"
 
 #endif // NUPEA_API_NUPEA_H

@@ -1,0 +1,457 @@
+#include "workloads/gen/gen_spec.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace nupea
+{
+
+namespace
+{
+
+const char *const kGrammar =
+    "gen:stencil<WR>x<WC>[:g<R>x<C>][:c<c0,c1,...>][:d<DIV>][:s<STEPS>]"
+    "[:copy|clamp|wrap|zero] | "
+    "gen:gemm<M>x<N>x<K>[:t<TM>x<TN>x<TK>] | "
+    "gen:conv1d<LEN>k<TAPS>[:c<c0,c1,...>][:t<TILE>] | "
+    "gen:reduce<ARITY>x<DEPTH>[:c<CHUNK>][:add|min|max|xor]";
+
+/** Parse a decimal integer covering the whole string. */
+bool
+parseInt(const std::string &s, long &out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    out = std::strtol(s.c_str(), &end, 10);
+    return end == s.c_str() + s.size();
+}
+
+/** Parse "<a>x<b>" into two ints. */
+bool
+parsePair(const std::string &s, long &a, long &b)
+{
+    std::size_t x = s.find('x');
+    if (x == std::string::npos)
+        return false;
+    return parseInt(s.substr(0, x), a) && parseInt(s.substr(x + 1), b);
+}
+
+/** Parse "<a>x<b>x<c>" into three ints. */
+bool
+parseTriple(const std::string &s, long &a, long &b, long &c)
+{
+    std::size_t x1 = s.find('x');
+    if (x1 == std::string::npos)
+        return false;
+    std::size_t x2 = s.find('x', x1 + 1);
+    if (x2 == std::string::npos)
+        return false;
+    return parseInt(s.substr(0, x1), a) &&
+           parseInt(s.substr(x1 + 1, x2 - x1 - 1), b) &&
+           parseInt(s.substr(x2 + 1), c);
+}
+
+/** Parse "c1,-2,3" (after the leading key char) into words. `out` is
+ *  only written on success: a 'c'-leading keyword like "clamp" probes
+ *  this parser first and must not clobber an earlier coeff list. */
+bool
+parseList(const std::string &s, std::vector<Word> &out)
+{
+    std::vector<Word> parsed;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        long v;
+        if (!parseInt(item, v))
+            return false;
+        parsed.push_back(static_cast<Word>(v));
+    }
+    if (parsed.empty())
+        return false;
+    out = std::move(parsed);
+    return true;
+}
+
+[[noreturn]] void
+badSpec(const std::string &name, const std::string &what)
+{
+    fatal("bad generator spec '", name, "': ", what,
+          "; grammar: ", kGrammar);
+}
+
+const char *
+boundaryName(GenBoundary b)
+{
+    switch (b) {
+      case GenBoundary::Copy: return "copy";
+      case GenBoundary::Clamp: return "clamp";
+      case GenBoundary::Wrap: return "wrap";
+      case GenBoundary::Zero: return "zero";
+    }
+    return "?";
+}
+
+const char *
+redOpName(Op op)
+{
+    switch (op) {
+      case Op::Add: return "add";
+      case Op::Min: return "min";
+      case Op::Max: return "max";
+      case Op::Xor: return "xor";
+      default: return "?";
+    }
+}
+
+bool
+allOnes(const std::vector<Word> &coeffs)
+{
+    for (Word c : coeffs) {
+        if (c != 1)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+generatorGrammar()
+{
+    return kGrammar;
+}
+
+int
+GeneratorSpec::leafCount() const
+{
+    int leaves = 1;
+    for (int d = 0; d < depth; ++d)
+        leaves *= arity;
+    return leaves;
+}
+
+std::string
+GeneratorSpec::name() const
+{
+    std::ostringstream os;
+    os << "gen:";
+    switch (kind) {
+      case GenKind::Stencil: {
+        os << "stencil" << winR << "x" << winC;
+        if (gridR != 10 || gridC != 10)
+            os << ":g" << gridR << "x" << gridC;
+        if (!coeffs.empty() && !allOnes(coeffs)) {
+            os << ":c";
+            for (std::size_t i = 0; i < coeffs.size(); ++i)
+                os << (i ? "," : "") << coeffs[i];
+        }
+        if (divisor != 0 && divisor != static_cast<Word>(tapCount()))
+            os << ":d" << divisor;
+        if (steps != 1)
+            os << ":s" << steps;
+        if (boundary != GenBoundary::Copy)
+            os << ":" << boundaryName(boundary);
+        break;
+      }
+      case GenKind::Gemm:
+        os << "gemm" << m << "x" << n << "x" << k;
+        if (tm != 0 || tn != 0 || tk != 0)
+            os << ":t" << effTm() << "x" << effTn() << "x" << effTk();
+        break;
+      case GenKind::Conv1d:
+        os << "conv1d" << len << "k" << taps;
+        if (!coeffs.empty() && !allOnes(coeffs)) {
+            os << ":c";
+            for (std::size_t i = 0; i < coeffs.size(); ++i)
+                os << (i ? "," : "") << coeffs[i];
+        }
+        if (tile != 8)
+            os << ":t" << tile;
+        break;
+      case GenKind::Reduce:
+        os << "reduce" << arity << "x" << depth;
+        if (chunk != 1)
+            os << ":c" << chunk;
+        if (redOp != Op::Add)
+            os << ":" << redOpName(redOp);
+        break;
+    }
+    return os.str();
+}
+
+void
+GeneratorSpec::validate() const
+{
+    const std::string who = name();
+    switch (kind) {
+      case GenKind::Stencil:
+        if (winR < 1 || winC < 1 || winR % 2 == 0 || winC % 2 == 0)
+            badSpec(who, "stencil window dims must be odd and >= 1");
+        if (tapCount() > 25)
+            badSpec(who, "stencil window too large (> 25 taps)");
+        if (gridR < 2 || gridC < 2 || gridR > 32 || gridC > 32)
+            badSpec(who, "stencil grid dims must be in [2, 32]");
+        if (haloR() >= gridR || haloC() >= gridC)
+            badSpec(who, "stencil halo exceeds the grid");
+        if (!coeffs.empty() &&
+            coeffs.size() != static_cast<std::size_t>(tapCount()))
+            badSpec(who, formatMessage("coefficient list must have ",
+                                       tapCount(), " entries"));
+        if (divisor < 0)
+            badSpec(who, "divisor must be >= 0");
+        if (steps < 1 || steps > 4)
+            badSpec(who, "steps must be in [1, 4]");
+        break;
+      case GenKind::Gemm:
+        if (m < 1 || n < 1 || k < 1 || m > 32 || n > 32 || k > 32)
+            badSpec(who, "gemm dims must be in [1, 32]");
+        if (effTm() < 1 || effTn() < 1 || effTk() < 1 ||
+            m % effTm() != 0 || n % effTn() != 0 || k % effTk() != 0)
+            badSpec(who, "tile dims must divide the problem dims");
+        break;
+      case GenKind::Conv1d:
+        if (taps < 1 || taps > 16)
+            badSpec(who, "conv taps must be in [1, 16]");
+        if (len < taps || len > 256)
+            badSpec(who, "conv length must be in [taps, 256]");
+        if (tile < 1 || tile > 64)
+            badSpec(who, "conv tile must be in [1, 64]");
+        if (!coeffs.empty() &&
+            coeffs.size() != static_cast<std::size_t>(taps))
+            badSpec(who, formatMessage("coefficient list must have ",
+                                       taps, " entries"));
+        break;
+      case GenKind::Reduce:
+        if (arity < 2 || arity > 8)
+            badSpec(who, "reduce arity must be in [2, 8]");
+        if (depth < 1 || depth > 6)
+            badSpec(who, "reduce depth must be in [1, 6]");
+        if (leafCount() > 48)
+            badSpec(who, "reduce tree too wide (arity^depth > 48)");
+        if (chunk < 1 || chunk > 16)
+            badSpec(who, "reduce chunk must be in [1, 16]");
+        if (redOp != Op::Add && redOp != Op::Min && redOp != Op::Max &&
+            redOp != Op::Xor)
+            badSpec(who, "reduce op must be add, min, max, or xor");
+        break;
+    }
+}
+
+GeneratorSpec
+GeneratorSpec::parse(const std::string &name)
+{
+    if (name.rfind("gen:", 0) != 0)
+        badSpec(name, "missing 'gen:' prefix");
+
+    // Split on ':' after the prefix.
+    std::vector<std::string> segs;
+    {
+        std::stringstream ss(name.substr(4));
+        std::string seg;
+        while (std::getline(ss, seg, ':'))
+            segs.push_back(seg);
+    }
+    if (segs.empty())
+        badSpec(name, "empty spec");
+
+    GeneratorSpec spec;
+    const std::string &head = segs[0];
+    long a, b, c;
+    if (head.rfind("stencil", 0) == 0) {
+        spec.kind = GenKind::Stencil;
+        if (!parsePair(head.substr(7), a, b))
+            badSpec(name, "expected stencil<WR>x<WC>");
+        spec.winR = static_cast<int>(a);
+        spec.winC = static_cast<int>(b);
+    } else if (head.rfind("gemm", 0) == 0) {
+        spec.kind = GenKind::Gemm;
+        if (!parseTriple(head.substr(4), a, b, c))
+            badSpec(name, "expected gemm<M>x<N>x<K>");
+        spec.m = static_cast<int>(a);
+        spec.n = static_cast<int>(b);
+        spec.k = static_cast<int>(c);
+    } else if (head.rfind("conv1d", 0) == 0) {
+        spec.kind = GenKind::Conv1d;
+        std::string dims = head.substr(6);
+        std::size_t kpos = dims.find('k');
+        if (kpos == std::string::npos || !parseInt(dims.substr(0, kpos), a) ||
+            !parseInt(dims.substr(kpos + 1), b))
+            badSpec(name, "expected conv1d<LEN>k<TAPS>");
+        spec.len = static_cast<int>(a);
+        spec.taps = static_cast<int>(b);
+    } else if (head.rfind("reduce", 0) == 0) {
+        spec.kind = GenKind::Reduce;
+        if (!parsePair(head.substr(6), a, b))
+            badSpec(name, "expected reduce<ARITY>x<DEPTH>");
+        spec.arity = static_cast<int>(a);
+        spec.depth = static_cast<int>(b);
+    } else {
+        badSpec(name, formatMessage("unknown kind '", head, "'"));
+    }
+
+    for (std::size_t i = 1; i < segs.size(); ++i) {
+        const std::string &seg = segs[i];
+        if (seg.empty())
+            badSpec(name, "empty segment");
+        bool ok = false;
+        switch (spec.kind) {
+          case GenKind::Stencil:
+            if (seg[0] == 'g' && parsePair(seg.substr(1), a, b)) {
+                spec.gridR = static_cast<int>(a);
+                spec.gridC = static_cast<int>(b);
+                ok = true;
+            } else if (seg[0] == 'c' &&
+                       parseList(seg.substr(1), spec.coeffs)) {
+                ok = true;
+            } else if (seg[0] == 'd' && parseInt(seg.substr(1), a)) {
+                spec.divisor = static_cast<Word>(a);
+                ok = true;
+            } else if (seg[0] == 's' && parseInt(seg.substr(1), a)) {
+                spec.steps = static_cast<int>(a);
+                ok = true;
+            } else if (seg == "copy" || seg == "clamp" || seg == "wrap" ||
+                       seg == "zero") {
+                spec.boundary = seg == "copy"    ? GenBoundary::Copy
+                                : seg == "clamp" ? GenBoundary::Clamp
+                                : seg == "wrap"  ? GenBoundary::Wrap
+                                                 : GenBoundary::Zero;
+                ok = true;
+            }
+            break;
+          case GenKind::Gemm:
+            if (seg[0] == 't' && parseTriple(seg.substr(1), a, b, c)) {
+                spec.tm = static_cast<int>(a);
+                spec.tn = static_cast<int>(b);
+                spec.tk = static_cast<int>(c);
+                ok = true;
+            }
+            break;
+          case GenKind::Conv1d:
+            if (seg[0] == 'c' && parseList(seg.substr(1), spec.coeffs)) {
+                ok = true;
+            } else if (seg[0] == 't' && parseInt(seg.substr(1), a)) {
+                spec.tile = static_cast<int>(a);
+                ok = true;
+            }
+            break;
+          case GenKind::Reduce:
+            if (seg[0] == 'c' && parseInt(seg.substr(1), a)) {
+                spec.chunk = static_cast<int>(a);
+                ok = true;
+            } else if (seg == "add" || seg == "min" || seg == "max" ||
+                       seg == "xor") {
+                spec.redOp = seg == "add"   ? Op::Add
+                             : seg == "min" ? Op::Min
+                             : seg == "max" ? Op::Max
+                                            : Op::Xor;
+                ok = true;
+            }
+            break;
+        }
+        if (!ok)
+            badSpec(name, formatMessage("bad segment '", seg, "'"));
+    }
+
+    spec.validate();
+    return spec;
+}
+
+GeneratorSpec
+GeneratorSpec::random(Rng &rng)
+{
+    GeneratorSpec spec;
+    switch (rng.below(4)) {
+      case 0: {
+        spec.kind = GenKind::Stencil;
+        spec.boundary = static_cast<GenBoundary>(rng.below(4));
+        // Window odd per axis, tap count bounded per boundary mode so
+        // parallelism 1 always places on Monaco 12x12 (measured arith
+        // cost per tap: plain ~8, clamp/wrap ~12, zero ~20 against a
+        // 216-slot budget).
+        static const int kWins[][2] = {{1, 3}, {3, 1}, {3, 3},
+                                       {1, 5}, {5, 1}, {3, 5},
+                                       {5, 3}, {5, 5}};
+        const int max_taps = spec.boundary == GenBoundary::Zero ? 9
+                             : spec.boundary == GenBoundary::Copy
+                                 ? 25
+                                 : 15;
+        const int *win;
+        do {
+            win = kWins[rng.below(std::size(kWins))];
+        } while (win[0] * win[1] > max_taps);
+        spec.winR = win[0];
+        spec.winC = win[1];
+        spec.gridR = 4 + static_cast<int>(rng.below(9)); // 4..12
+        spec.gridC = 4 + static_cast<int>(rng.below(9));
+        spec.steps = 1 + static_cast<int>(rng.below(2));
+        if (rng.chance(0.7)) {
+            spec.coeffs.resize(static_cast<std::size_t>(spec.tapCount()));
+            for (Word &cw : spec.coeffs)
+                cw = static_cast<Word>(rng.range(-3, 3));
+        }
+        // Keep the per-step growth factor sum|c|/divisor bounded so
+        // two steps stay far from Word overflow.
+        Word mag = 0;
+        for (Word cw : spec.coeffs)
+            mag += cw < 0 ? -cw : cw;
+        if (spec.coeffs.empty())
+            mag = static_cast<Word>(spec.tapCount());
+        spec.divisor = rng.chance(0.5)
+                           ? 0
+                           : std::max<Word>(1, mag / 4);
+        break;
+      }
+      case 1: {
+        spec.kind = GenKind::Gemm;
+        spec.tm = 1 + static_cast<int>(rng.below(4));
+        spec.tn = 1 + static_cast<int>(rng.below(4));
+        spec.tk = 1 + static_cast<int>(rng.below(4));
+        spec.m = spec.tm * (1 + static_cast<int>(rng.below(3)));
+        spec.n = spec.tn * (1 + static_cast<int>(rng.below(3)));
+        spec.k = spec.tk * (1 + static_cast<int>(rng.below(3)));
+        if (rng.chance(0.25)) { // untiled variant
+            spec.tm = spec.tn = spec.tk = 0;
+        }
+        break;
+      }
+      case 2: {
+        spec.kind = GenKind::Conv1d;
+        spec.taps = 1 + 2 * static_cast<int>(rng.below(4)); // 1,3,5,7
+        spec.len = spec.taps + 4 + static_cast<int>(rng.below(33));
+        spec.tile = 2 + static_cast<int>(rng.below(11)); // 2..12
+        if (rng.chance(0.6)) {
+            spec.coeffs.resize(static_cast<std::size_t>(spec.taps));
+            for (Word &cw : spec.coeffs)
+                cw = static_cast<Word>(rng.range(-3, 3));
+        }
+        break;
+      }
+      default: {
+        spec.kind = GenKind::Reduce;
+        spec.arity = 2 + static_cast<int>(rng.below(5)); // 2..6
+        spec.chunk = 1 + static_cast<int>(rng.below(6)); // 1..6
+        // A chunked leaf is a forLoop (~7 control slots each against
+        // the fabric's 144), so chunked trees stay at <= 16 leaves;
+        // loop-free direct-load trees can use the full 48.
+        const int max_leaves = spec.chunk > 1 ? 16 : 48;
+        int leaves = spec.arity;
+        spec.depth = 1;
+        while (spec.depth < 4 && leaves * spec.arity <= max_leaves &&
+               rng.chance(0.6)) {
+            leaves *= spec.arity;
+            ++spec.depth;
+        }
+        static const Op kOps[] = {Op::Add, Op::Min, Op::Max, Op::Xor};
+        spec.redOp = kOps[rng.below(std::size(kOps))];
+        break;
+      }
+    }
+    spec.validate();
+    return spec;
+}
+
+} // namespace nupea

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Compact workload-generator specifications.
+ *
+ * A GeneratorSpec describes one parameterized kernel shape — an
+ * N-point stencil (tap window + coefficients + boundary mode), a
+ * tiled GEMM, a tiled 1D convolution, or a reduction tree — that
+ * gen_workload.cc compiles into a DFG builder program with a matching
+ * host reference. Specs round-trip through a compact textual grammar
+ * (DESIGN.md "Workload generator"), so every generated workload is
+ * addressable by name (`gen:stencil5x5`, `gen:gemm16x16x8`, ...) from
+ * any driver that accepts a workload name, and every fuzz failure is
+ * reproducible from the printed spec string alone.
+ */
+
+#ifndef NUPEA_WORKLOADS_GEN_GEN_SPEC_H
+#define NUPEA_WORKLOADS_GEN_GEN_SPEC_H
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "dfg/opcode.h"
+
+namespace nupea
+{
+
+/** Kernel families the generator can emit. */
+enum class GenKind : std::uint8_t
+{
+    Stencil, ///< iterated 2D tap-window stencil
+    Gemm,    ///< tiled dense matrix-matrix product
+    Conv1d,  ///< tiled 1D valid convolution
+    Reduce,  ///< spatial reduction tree over an array
+};
+
+/** How a stencil treats neighbors outside the grid. */
+enum class GenBoundary : std::uint8_t
+{
+    Copy,  ///< compute interior only; border cells keep initial values
+    Clamp, ///< out-of-range indices clamp to the nearest edge
+    Wrap,  ///< indices wrap around (torus)
+    Zero,  ///< out-of-range taps contribute zero
+};
+
+/**
+ * One generated-kernel shape. Only the fields of the active `kind`
+ * are meaningful; the rest keep their defaults so name() stays
+ * canonical. Construct by hand, via parse(), or via random().
+ */
+struct GeneratorSpec
+{
+    GenKind kind = GenKind::Stencil;
+
+    /** @{ Stencil: `gen:stencil<WR>x<WC>[...]`. Window dims odd. */
+    int winR = 3, winC = 3;     ///< tap-window dims (odd)
+    int gridR = 10, gridC = 10; ///< grid dims (`g<R>x<C>`)
+    /** Row-major taps (`c<list>`); empty = all ones. */
+    std::vector<Word> coeffs;
+    Word divisor = 0; ///< result divisor (`d<D>`); 0 = tap count
+    int steps = 1;    ///< time steps (`s<N>`)
+    GenBoundary boundary = GenBoundary::Copy;
+    /** @} */
+
+    /** @{ Gemm: `gen:gemm<M>x<N>x<K>[:t<TM>x<TN>x<TK>]`. Tile dims
+     *  0 mean untiled (tile == full dim); when set they must divide
+     *  the corresponding problem dim. */
+    int m = 8, n = 8, k = 8;
+    int tm = 0, tn = 0, tk = 0;
+    /** @} */
+
+    /** @{ Conv1d: `gen:conv1d<LEN>k<TAPS>[:c<list>][:t<TILE>]`.
+     *  Valid convolution: outLen = len - taps + 1. */
+    int len = 32, taps = 5, tile = 8;
+    /** @} */
+
+    /** @{ Reduce: `gen:reduce<ARITY>x<DEPTH>[:c<CHUNK>][:<op>]`.
+     *  arity^depth leaves; each leaf folds `chunk` consecutive
+     *  elements sequentially, then a spatial arity-ary tree combines
+     *  the leaves. redOp is one of Add/Min/Max/Xor. */
+    int arity = 2, depth = 3, chunk = 1;
+    Op redOp = Op::Add;
+    /** @} */
+
+    /** Stencil halo (window radius) per axis. */
+    int haloR() const { return winR / 2; }
+    int haloC() const { return winC / 2; }
+    /** Stencil tap count. */
+    int tapCount() const { return winR * winC; }
+    /** Effective stencil divisor (0 resolves to the tap count). */
+    Word effectiveDivisor() const
+    {
+        return divisor == 0 ? static_cast<Word>(tapCount()) : divisor;
+    }
+    /** Effective GEMM tile dims (0 resolves to the problem dim). */
+    int effTm() const { return tm == 0 ? m : tm; }
+    int effTn() const { return tn == 0 ? n : tn; }
+    int effTk() const { return tk == 0 ? k : tk; }
+    /** Conv1d output length (valid mode). */
+    int outLen() const { return len - taps + 1; }
+    /** Reduce leaf count (arity^depth). */
+    int leafCount() const;
+    /** Reduce input element count (leaves * chunk). */
+    int reduceElems() const { return leafCount() * chunk; }
+
+    /**
+     * Canonical spec name (`gen:...`): optional segments appear only
+     * when they differ from the parse defaults, in the grammar's
+     * order, so parse(name()).name() == name().
+     */
+    std::string name() const;
+
+    /** Throw FatalError if any parameter is out of range. */
+    void validate() const;
+
+    /**
+     * Parse a `gen:...` name. Optional segments may appear in any
+     * order. Throws FatalError naming the offending segment and the
+     * grammar on malformed input. The result is validate()d.
+     */
+    static GeneratorSpec parse(const std::string &name);
+
+    /**
+     * Sample a random valid spec. Sizes are bounded so every sampled
+     * shape builds at parallelism 1, places on a Monaco 12x12 fabric,
+     * and stays far from Word overflow.
+     */
+    static GeneratorSpec random(Rng &rng);
+};
+
+/** One-line grammar summary (used by error messages and docs). */
+const char *generatorGrammar();
+
+} // namespace nupea
+
+#endif // NUPEA_WORKLOADS_GEN_GEN_SPEC_H

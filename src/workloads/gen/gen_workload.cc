@@ -1,0 +1,630 @@
+/**
+ * @file
+ * GeneratorSpec -> (host reference, DFG builder program).
+ *
+ * Every host-side arithmetic step goes through evalBinary() — the
+ * exact function the interpreter and the Machine's FUs execute — so
+ * the reference matches the dataflow kernel bit for bit, including
+ * wrap-around Add/Sub/Mul and the divide-by-zero guard, with no
+ * separate "host semantics" to keep in sync.
+ *
+ * Graph idioms follow the hand-built workloads: outer parallel work
+ * is sliced across replicas (sliceWork), iterated stencils order each
+ * time step after the previous step's stores through a reduced
+ * barrier token (wl_dense.cc), and stores' done tokens fold into the
+ * loop-carried value so the verifier's liveness rules hold.
+ */
+
+#include "workloads/gen/gen_workload.h"
+
+#include <functional>
+#include <limits>
+
+#include "dfg/builder.h"
+#include "workloads/wl_base.h"
+
+namespace nupea
+{
+
+namespace
+{
+
+using Value = Builder::Value;
+
+/** Fold identity for the reduce ops (op(identity, v) == v). */
+Word
+reduceIdentity(Op op)
+{
+    switch (op) {
+      case Op::Min: return std::numeric_limits<Word>::max();
+      case Op::Max: return std::numeric_limits<Word>::min();
+      default: return 0; // Add, Xor
+    }
+}
+
+class GeneratedWorkload : public WorkloadBase
+{
+  public:
+    GeneratedWorkload(GeneratorSpec spec, std::uint64_t seed)
+        : WorkloadBase(seed), spec_(std::move(spec))
+    {
+        spec_.validate();
+    }
+
+    std::string name() const override { return spec_.name(); }
+
+    std::string
+    description() const override
+    {
+        switch (spec_.kind) {
+          case GenKind::Stencil:
+            return formatMessage("Generated ", spec_.winR, "x", spec_.winC,
+                                 " stencil");
+          case GenKind::Gemm:
+            return formatMessage("Generated tiled GEMM ", spec_.effTm(),
+                                 "x", spec_.effTn(), "x", spec_.effTk());
+          case GenKind::Conv1d:
+            return formatMessage("Generated 1D convolution, ", spec_.taps,
+                                 " taps");
+          case GenKind::Reduce:
+            return formatMessage("Generated reduction tree, arity ",
+                                 spec_.arity, ", depth ", spec_.depth);
+        }
+        return "Generated workload";
+    }
+
+    std::string paperInput() const override
+    {
+        return "generated (not in the paper)";
+    }
+
+    std::string
+    scaledInput() const override
+    {
+        switch (spec_.kind) {
+          case GenKind::Stencil:
+            return formatMessage(spec_.gridR, "x", spec_.gridC, ", ",
+                                 spec_.steps, " steps");
+          case GenKind::Gemm:
+            return formatMessage(spec_.m, "x", spec_.n, "x", spec_.k);
+          case GenKind::Conv1d:
+            return formatMessage(spec_.len, " elements");
+          case GenKind::Reduce:
+            return formatMessage(spec_.reduceElems(), " elements");
+        }
+        return "?";
+    }
+
+    int
+    preferredParallelism() const override
+    {
+        return spec_.kind == GenKind::Reduce ? 1 : 2;
+    }
+
+    void
+    init(BackingStore &store) override
+    {
+        resetExpectations();
+        Rng rng = freshRng();
+        switch (spec_.kind) {
+          case GenKind::Stencil: initStencil(store, rng); break;
+          case GenKind::Gemm: initGemm(store, rng); break;
+          case GenKind::Conv1d: initConv(store, rng); break;
+          case GenKind::Reduce: initReduce(store, rng); break;
+        }
+        markInitialized();
+    }
+
+    Graph
+    build(int parallelism) const override
+    {
+        requireInitialized();
+        Builder b;
+        switch (spec_.kind) {
+          case GenKind::Stencil: buildStencil(b, parallelism); break;
+          case GenKind::Gemm: buildGemm(b, parallelism); break;
+          case GenKind::Conv1d: buildConv(b, parallelism); break;
+          case GenKind::Reduce: buildReduce(b); break;
+        }
+        return b.takeGraph();
+    }
+
+  private:
+    /** Taps in row-major order (all-ones when the spec omits them). */
+    Word
+    coeffAt(std::size_t i) const
+    {
+        return spec_.coeffs.empty() ? 1 : spec_.coeffs[i];
+    }
+
+    // ----- stencil ---------------------------------------------------
+
+    void
+    initStencil(BackingStore &store, Rng &rng)
+    {
+        const int R = spec_.gridR, C = spec_.gridC;
+        grid_ = randomVector(rng, R * C, 0, 16);
+        aBase_ = allocAndWrite(store, grid_);
+        bBase_ = allocAndWrite(store, grid_); // double buffer
+        std::vector<Word> final_grid = refStencil();
+        Addr final_base = (spec_.steps % 2 == 0) ? aBase_ : bBase_;
+        expectRegion("grid", final_base, std::move(final_grid));
+    }
+
+    std::vector<Word>
+    refStencil() const
+    {
+        const int R = spec_.gridR, C = spec_.gridC;
+        const int hr = spec_.haloR(), hc = spec_.haloC();
+        const Word div = spec_.effectiveDivisor();
+        std::vector<Word> src = grid_, dst = grid_;
+        for (int t = 0; t < spec_.steps; ++t) {
+            for (int i = 0; i < R; ++i) {
+                for (int j = 0; j < C; ++j) {
+                    if (spec_.boundary == GenBoundary::Copy &&
+                        (i < hr || i >= R - hr || j < hc || j >= C - hc)) {
+                        dst[idx(i, j)] = src[idx(i, j)];
+                        continue;
+                    }
+                    Word acc = 0;
+                    std::size_t tap = 0;
+                    for (int di = -hr; di <= hr; ++di) {
+                        for (int dj = -hc; dj <= hc; ++dj, ++tap) {
+                            Word v = neighbor(src, i + di, j + dj);
+                            acc = evalBinary(
+                                Op::Add, acc,
+                                evalBinary(Op::Mul, v, coeffAt(tap)));
+                        }
+                    }
+                    dst[idx(i, j)] = evalBinary(Op::Div, acc, div);
+                }
+            }
+            std::swap(src, dst);
+        }
+        return src;
+    }
+
+    std::size_t
+    idx(int i, int j) const
+    {
+        return static_cast<std::size_t>(i * spec_.gridC + j);
+    }
+
+    /** Host-side neighbor fetch under the spec's boundary mode. */
+    Word
+    neighbor(const std::vector<Word> &g, int ii, int jj) const
+    {
+        const int R = spec_.gridR, C = spec_.gridC;
+        switch (spec_.boundary) {
+          case GenBoundary::Copy:
+            // Callers only reach here for in-bounds taps.
+            return g[idx(ii, jj)];
+          case GenBoundary::Clamp:
+            return g[idx(std::max(0, std::min(R - 1, ii)),
+                         std::max(0, std::min(C - 1, jj)))];
+          case GenBoundary::Wrap:
+            return g[idx(static_cast<int>(
+                             evalBinary(Op::Rem, ii + R, R)),
+                         static_cast<int>(
+                             evalBinary(Op::Rem, jj + C, C)))];
+          case GenBoundary::Zero:
+            if (ii < 0 || ii >= R || jj < 0 || jj >= C)
+                return 0;
+            return g[idx(ii, jj)];
+        }
+        return 0;
+    }
+
+    void
+    buildStencil(Builder &b, int parallelism) const
+    {
+        const int R = spec_.gridR, C = spec_.gridC;
+        const int hr = spec_.haloR(), hc = spec_.haloC();
+        const Word div = spec_.effectiveDivisor();
+        const bool interiorOnly = spec_.boundary == GenBoundary::Copy;
+        const int rowBegin = interiorOnly ? hr : 0;
+        const int rowCount = interiorOnly ? std::max(0, R - 2 * hr) : R;
+        const int colBegin = interiorOnly ? hc : 0;
+        const int colEnd = interiorOnly ? C - hc : C;
+        auto slices = sliceWork(rowCount, parallelism);
+
+        auto exits = b.whileLoop(
+            {b.source(0), b.source(0),
+             b.source(static_cast<Word>(aBase_)),
+             b.source(static_cast<Word>(bBase_))},
+            [&](Builder &b, const std::vector<Value> &cur) {
+                return b.lt(cur[0], Word{spec_.steps});
+            },
+            [&](Builder &b, const std::vector<Value> &cur) {
+                Value bar = cur[1];
+                Value src = cur[2];
+                Value dst = cur[3];
+                std::vector<Value> dones;
+                for (const WorkSlice &slice : slices) {
+                    auto ex = b.forLoop(
+                        b.source(slice.begin + rowBegin),
+                        b.source(slice.end + rowBegin), 1, {bar},
+                        [&](Builder &b, Value i,
+                            const std::vector<Value> &c) {
+                            auto inner = b.forLoop(
+                                b.source(colBegin), b.source(colEnd), 1,
+                                {c[0]},
+                                [&](Builder &b, Value j,
+                                    const std::vector<Value> &c2) {
+                                    Value done = stencilCell(
+                                        b, i, j, src, dst, bar, hr, hc,
+                                        div);
+                                    return std::vector<Value>{
+                                        b.bor(c2[0], done)};
+                                });
+                            return std::vector<Value>{inner[0]};
+                        },
+                        "gen.stencil.rows");
+                    dones.push_back(ex[0]);
+                }
+                Value new_bar = joinTokens(b, dones);
+                return std::vector<Value>{b.add(cur[0], Word{1}),
+                                          new_bar, dst, src};
+            },
+            "gen.stencil.time");
+        b.sink(exits[1], "final-barrier");
+    }
+
+    /** Emit one output cell: taps, coefficient MACs, divide, store.
+     *  Returns the store's done token. */
+    Value
+    stencilCell(Builder &b, Value i, Value j, Value src, Value dst,
+                Value bar, int hr, int hc, Word div) const
+    {
+        const int R = spec_.gridR, C = spec_.gridC;
+        Value acc;
+        std::size_t tap = 0;
+        for (int di = -hr; di <= hr; ++di) {
+            for (int dj = -hc; dj <= hc; ++dj, ++tap) {
+                Value ii, jj, mask;
+                switch (spec_.boundary) {
+                  case GenBoundary::Copy:
+                    // Loop ranges keep taps in bounds.
+                    ii = b.add(i, Word{di});
+                    jj = b.add(j, Word{dj});
+                    break;
+                  case GenBoundary::Clamp:
+                    ii = b.max(b.min(b.add(i, Word{di}), Word{R - 1}),
+                               Word{0});
+                    jj = b.max(b.min(b.add(j, Word{dj}), Word{C - 1}),
+                               Word{0});
+                    break;
+                  case GenBoundary::Wrap:
+                    // di + R >= 0 keeps rem non-negative.
+                    ii = b.rem(b.add(i, Word{di + R}), Word{R});
+                    jj = b.rem(b.add(j, Word{dj + C}), Word{C});
+                    break;
+                  case GenBoundary::Zero: {
+                    Value iiRaw = b.add(i, Word{di});
+                    Value jjRaw = b.add(j, Word{dj});
+                    ii = b.max(b.min(iiRaw, Word{R - 1}), Word{0});
+                    jj = b.max(b.min(jjRaw, Word{C - 1}), Word{0});
+                    mask = b.band(
+                        b.band(b.ge(iiRaw, Word{0}),
+                               b.lt(iiRaw, Word{R})),
+                        b.band(b.ge(jjRaw, Word{0}),
+                               b.lt(jjRaw, Word{C})));
+                    break;
+                  }
+                }
+                Value addr = b.add(
+                    src,
+                    b.mul(b.add(b.mul(ii, Word{C}), jj), Word{4}));
+                Value v = b.load(addr, bar, "gen.tap");
+                if (mask.valid())
+                    v = b.mul(v, mask);
+                Word coeff = coeffAt(tap);
+                Value term = coeff == 1 ? v : b.mul(v, coeff);
+                acc = acc.valid() ? b.add(acc, term) : term;
+            }
+        }
+        if (div != 1)
+            acc = b.div(acc, div);
+        Value out_addr = b.add(
+            dst, b.mul(b.add(b.mul(i, Word{C}), j), Word{4}));
+        return b.store(out_addr, acc, {}, "gen.cell");
+    }
+
+    // ----- gemm ------------------------------------------------------
+
+    void
+    initGemm(BackingStore &store, Rng &rng)
+    {
+        a_ = randomVector(rng, spec_.m * spec_.k);
+        b2_ = randomVector(rng, spec_.k * spec_.n);
+        aBase_ = allocAndWrite(store, a_);
+        bBase_ = allocAndWrite(store, b2_);
+        cBase_ = store.allocWords(
+            static_cast<std::size_t>(spec_.m * spec_.n));
+        std::vector<Word> c(static_cast<std::size_t>(spec_.m * spec_.n));
+        for (int i = 0; i < spec_.m; ++i) {
+            for (int j = 0; j < spec_.n; ++j) {
+                Word acc = 0;
+                for (int kk = 0; kk < spec_.k; ++kk) {
+                    acc = evalBinary(
+                        Op::Add, acc,
+                        evalBinary(
+                            Op::Mul,
+                            a_[static_cast<std::size_t>(i * spec_.k + kk)],
+                            b2_[static_cast<std::size_t>(kk * spec_.n +
+                                                         j)]));
+                }
+                c[static_cast<std::size_t>(i * spec_.n + j)] = acc;
+            }
+        }
+        expectRegion("C", cBase_, std::move(c));
+    }
+
+    void
+    buildGemm(Builder &b, int parallelism) const
+    {
+        const int TM = spec_.effTm(), TN = spec_.effTn();
+        const int N = spec_.n, K = spec_.k;
+        auto slices = sliceWork(spec_.m / TM, parallelism);
+        for (const WorkSlice &slice : slices) {
+            auto exits = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1,
+                {b.source(0)},
+                [&](Builder &b, Value it, const std::vector<Value> &c) {
+                    Value i0 = b.mul(it, Word{TM});
+                    auto jt_loop = b.forLoop(
+                        b.source(0), b.source(N / TN), 1, {c[0]},
+                        [&](Builder &b, Value jt,
+                            const std::vector<Value> &cjt) {
+                            Value j0 = b.mul(jt, Word{TN});
+                            auto i_loop = b.forLoop(
+                                i0, b.add(i0, Word{TM}), 1, {cjt[0]},
+                                [&](Builder &b, Value i,
+                                    const std::vector<Value> &ci) {
+                                    Value rowA = b.mul(i, Word{K});
+                                    auto j_loop = b.forLoop(
+                                        j0, b.add(j0, Word{TN}), 1,
+                                        {ci[0]},
+                                        [&](Builder &b, Value j,
+                                            const std::vector<Value>
+                                                &cj) {
+                                            gemmCell(b, i, j, rowA);
+                                            return std::vector<Value>{
+                                                cj[0]};
+                                        });
+                                    return std::vector<Value>{j_loop[0]};
+                                });
+                            return std::vector<Value>{i_loop[0]};
+                        });
+                    return std::vector<Value>{jt_loop[0]};
+                },
+                "gen.gemm.rowtiles");
+            b.sink(exits[0]);
+        }
+    }
+
+    /** Accumulate C[i][j] over k-tiles and store it. */
+    void
+    gemmCell(Builder &b, Value i, Value j, Value rowA) const
+    {
+        const int TK = spec_.effTk();
+        const int N = spec_.n, K = spec_.k;
+        auto kt_loop = b.forLoop(
+            b.source(0), b.source(K / TK), 1, {b.source(0)},
+            [&](Builder &b, Value kt, const std::vector<Value> &ckt) {
+                Value k0 = b.mul(kt, Word{TK});
+                auto kk_loop = b.forLoop(
+                    k0, b.add(k0, Word{TK}), 1, {ckt[0]},
+                    [&](Builder &b, Value kk,
+                        const std::vector<Value> &ck) {
+                        Value av = b.load(
+                            wordAddrV(b, aBase_, b.add(rowA, kk)), {},
+                            "A[i][k]");
+                        Value bv = b.load(
+                            wordAddrV(b, bBase_,
+                                      b.add(b.mul(kk, Word{N}), j)),
+                            {}, "B[k][j]");
+                        return std::vector<Value>{
+                            b.add(ck[0], b.mul(av, bv))};
+                    });
+                return std::vector<Value>{kk_loop[0]};
+            },
+            "gen.gemm.ktiles");
+        b.store(wordAddrV(b, cBase_, b.add(b.mul(i, Word{N}), j)),
+                kt_loop[0], {}, "C[i][j]");
+    }
+
+    // ----- conv1d ----------------------------------------------------
+
+    void
+    initConv(BackingStore &store, Rng &rng)
+    {
+        in_ = randomVector(rng, spec_.len);
+        w_.resize(static_cast<std::size_t>(spec_.taps));
+        for (std::size_t t = 0; t < w_.size(); ++t)
+            w_[t] = coeffAt(t);
+        aBase_ = allocAndWrite(store, in_);
+        bBase_ = allocAndWrite(store, w_);
+        cBase_ = store.allocWords(static_cast<std::size_t>(spec_.outLen()));
+        std::vector<Word> out(static_cast<std::size_t>(spec_.outLen()));
+        for (int i = 0; i < spec_.outLen(); ++i) {
+            Word acc = 0;
+            for (int t = 0; t < spec_.taps; ++t) {
+                acc = evalBinary(
+                    Op::Add, acc,
+                    evalBinary(Op::Mul,
+                               w_[static_cast<std::size_t>(t)],
+                               in_[static_cast<std::size_t>(i + t)]));
+            }
+            out[static_cast<std::size_t>(i)] = acc;
+        }
+        expectRegion("out", cBase_, std::move(out));
+    }
+
+    void
+    buildConv(Builder &b, int parallelism) const
+    {
+        const int outLen = spec_.outLen();
+        const int tiles = (outLen + spec_.tile - 1) / spec_.tile;
+        auto slices = sliceWork(tiles, parallelism);
+        for (const WorkSlice &slice : slices) {
+            auto exits = b.forLoop(
+                b.source(slice.begin), b.source(slice.end), 1,
+                {b.source(0)},
+                [&](Builder &b, Value ti, const std::vector<Value> &c) {
+                    Value start = b.mul(ti, Word{spec_.tile});
+                    Value end = b.min(b.add(start, Word{spec_.tile}),
+                                      Word{outLen});
+                    auto i_loop = b.forLoop(
+                        start, end, 1, {c[0]},
+                        [&](Builder &b, Value i,
+                            const std::vector<Value> &ci) {
+                            auto tap_loop = b.forLoop(
+                                b.source(0), b.source(spec_.taps), 1,
+                                {b.source(0)},
+                                [&](Builder &b, Value t,
+                                    const std::vector<Value> &ct) {
+                                    Value wv = b.load(
+                                        wordAddrV(b, bBase_, t), {},
+                                        "w[t]");
+                                    Value xv = b.load(
+                                        wordAddrV(b, aBase_,
+                                                  b.add(i, t)),
+                                        {}, "in[i+t]");
+                                    return std::vector<Value>{b.add(
+                                        ct[0], b.mul(wv, xv))};
+                                });
+                            b.store(wordAddrV(b, cBase_, i),
+                                    tap_loop[0], {}, "out[i]");
+                            return std::vector<Value>{ci[0]};
+                        });
+                    return std::vector<Value>{i_loop[0]};
+                },
+                "gen.conv.tiles");
+            b.sink(exits[0]);
+        }
+    }
+
+    // ----- reduce ----------------------------------------------------
+
+    void
+    initReduce(BackingStore &store, Rng &rng)
+    {
+        in_ = randomVector(rng, spec_.reduceElems());
+        aBase_ = allocAndWrite(store, in_);
+        cBase_ = store.allocWords(1);
+        const Word identity = reduceIdentity(spec_.redOp);
+        std::function<Word(int, int)> fold = [&](int level,
+                                                 int node) -> Word {
+            if (level == spec_.depth) {
+                Word acc = identity;
+                for (int e = 0; e < spec_.chunk; ++e) {
+                    acc = evalBinary(
+                        spec_.redOp, acc,
+                        in_[static_cast<std::size_t>(
+                            node * spec_.chunk + e)]);
+                }
+                return acc;
+            }
+            Word acc = fold(level + 1, node * spec_.arity);
+            for (int ch = 1; ch < spec_.arity; ++ch) {
+                acc = evalBinary(spec_.redOp, acc,
+                                 fold(level + 1, node * spec_.arity + ch));
+            }
+            return acc;
+        };
+        expectRegion("result", cBase_, {fold(0, 0)});
+    }
+
+    /** Spatial arity-ary tree; leaves load (or chunk-fold) elements.
+     *  build(parallelism) is ignored — the tree is the parallelism. */
+    void
+    buildReduce(Builder &b) const
+    {
+        const Word identity = reduceIdentity(spec_.redOp);
+        std::function<Value(int, int)> tree = [&](int level,
+                                                  int node) -> Value {
+            if (level == spec_.depth) {
+                if (spec_.chunk == 1) {
+                    Addr addr = aBase_ + static_cast<Addr>(4 * node);
+                    return b.load(b.source(static_cast<Word>(addr)), {},
+                                  "leaf");
+                }
+                auto ex = b.forLoop(
+                    b.source(node * spec_.chunk),
+                    b.source((node + 1) * spec_.chunk), 1,
+                    {b.source(identity)},
+                    [&](Builder &b, Value e,
+                        const std::vector<Value> &c) {
+                        Value v = b.load(wordAddrV(b, aBase_, e), {},
+                                         "leaf[e]");
+                        return std::vector<Value>{
+                            b.binary(spec_.redOp, c[0], v)};
+                    },
+                    "gen.reduce.leaf");
+                return ex[0];
+            }
+            Value acc = tree(level + 1, node * spec_.arity);
+            for (int ch = 1; ch < spec_.arity; ++ch) {
+                acc = b.binary(spec_.redOp, acc,
+                               tree(level + 1, node * spec_.arity + ch));
+            }
+            return acc;
+        };
+        Value root = tree(0, 0);
+        b.store(b.source(static_cast<Word>(cBase_)), root, {},
+                "result");
+        b.sink(root, "reduce-root");
+    }
+
+    GeneratorSpec spec_;
+    std::vector<Word> grid_, a_, b2_, in_, w_;
+    Addr aBase_ = 0, bBase_ = 0, cBase_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeGeneratedWorkload(const GeneratorSpec &spec, std::uint64_t seed)
+{
+    return std::make_unique<GeneratedWorkload>(spec, seed);
+}
+
+std::unique_ptr<Workload>
+makeGeneratedWorkload(const std::string &name, std::uint64_t seed)
+{
+    return makeGeneratedWorkload(GeneratorSpec::parse(name), seed);
+}
+
+const std::vector<std::string> &
+generatedWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        // Stencils: window shapes, weighted taps, all boundary modes,
+        // multi-step double buffering.
+        "gen:stencil3x3",
+        "gen:stencil5x5",
+        "gen:stencil1x5",
+        "gen:stencil3x3:s2:wrap",
+        "gen:stencil3x3:clamp",
+        "gen:stencil3x1:zero",
+        "gen:stencil3x3:g12x12:c1,2,1,2,4,2,1,2,1:d16",
+        // GEMM: tiled and untiled, square and ragged tiles.
+        "gen:gemm8x8x8:t4x4x4",
+        "gen:gemm16x16x8:t4x8x4",
+        "gen:gemm6x6x6:t2x3x6",
+        "gen:gemm8x8x8",
+        // 1D convolutions with ragged last tiles and signed taps.
+        "gen:conv1d32k5",
+        "gen:conv1d24k3:t6",
+        "gen:conv1d16k7:c1,-1,2,-2,3,-3,1:t4",
+        // Reduction trees: arity/depth/op/chunk variants.
+        "gen:reduce2x4",
+        "gen:reduce4x2:c3:max",
+        "gen:reduce3x3:xor",
+        "gen:reduce2x3:c4:min",
+    };
+    return names;
+}
+
+} // namespace nupea

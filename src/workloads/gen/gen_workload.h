@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Generated workloads: compile a GeneratorSpec into a Workload whose
+ * build() emits a DFG builder program and whose init() computes the
+ * matching host reference. Registered under `gen:` names through
+ * makeWorkload() in workloads/registry.cc.
+ */
+
+#ifndef NUPEA_WORKLOADS_GEN_GEN_WORKLOAD_H
+#define NUPEA_WORKLOADS_GEN_GEN_WORKLOAD_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/gen/gen_spec.h"
+#include "workloads/workload.h"
+
+namespace nupea
+{
+
+/** Instantiate a generated workload from a parsed spec. */
+std::unique_ptr<Workload> makeGeneratedWorkload(const GeneratorSpec &spec,
+                                                std::uint64_t seed = 42);
+
+/** Instantiate from a `gen:...` name (FatalError on bad grammar). */
+std::unique_ptr<Workload> makeGeneratedWorkload(const std::string &name,
+                                                std::uint64_t seed = 42);
+
+/**
+ * Curated generated workloads registered alongside the 13 hand-built
+ * ones: canonical `gen:` names covering every generator kind and
+ * boundary/tiling/op variant. All verify clean, place on the default
+ * Monaco 12x12 fabric, and agree between interpreter and Machine
+ * (enforced by tests/test_gen_fuzz.cc).
+ */
+const std::vector<std::string> &generatedWorkloadNames();
+
+} // namespace nupea
+
+#endif // NUPEA_WORKLOADS_GEN_GEN_WORKLOAD_H

@@ -1,6 +1,7 @@
 #include "workloads/workload.h"
 
 #include "common/log.h"
+#include "workloads/gen/gen_workload.h"
 #include "workloads/wl_factories.h"
 
 namespace nupea
@@ -46,7 +47,18 @@ makeWorkload(const std::string &name, std::uint64_t seed)
         return makeIc(seed);
     if (name == "vww")
         return makeVww(seed);
-    fatal("unknown workload: ", name);
+    if (name.rfind("gen:", 0) == 0)
+        return makeGeneratedWorkload(name, seed);
+
+    // Unknown: list every known name so a typo is immediately
+    // actionable from the error alone.
+    std::string known;
+    for (const std::string &n : workloadNames())
+        known += "\n  " + n;
+    for (const std::string &n : generatedWorkloadNames())
+        known += "\n  " + n;
+    fatal("unknown workload: ", name, "; known workloads:", known,
+          "\nplus any generated spec matching:\n  ", generatorGrammar());
 }
 
 } // namespace nupea
