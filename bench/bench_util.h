@@ -113,12 +113,29 @@ BenchRun runCompiled(const CompiledWorkload &cw, MachineConfig config,
                      BackingStore &store);
 
 /**
- * A worker-private reusable BackingStore. acquire() allocates (and
- * pre-faults the image span of) the store on first use or on a
- * capacity change; afterwards the same mapping is recycled, so a
- * sweep pays one mmap per worker instead of one mmap/munmap per
- * point — the kernel-side churn that made the jobs=8 sweep slower
- * than serial on tiny points.
+ * Run a batch of machine configurations over one compiled workload in
+ * a single LaneMachine (see sim/machine_lanes.h): the dispatch tables
+ * are built once and every lane steps in lockstep, with per-lane
+ * results bit-identical to running each config through runCompiled.
+ * `configs` must be mutually batchable (LaneMachine::batchable);
+ * `stores` supplies one caller-owned store per config, each resetTo()
+ * the compiled image first, exactly like the recycled-store
+ * runCompiled overload. fatal() on any lane's watchdog expiry or
+ * unclean termination.
+ */
+std::vector<BenchRun>
+runCompiledLanes(const CompiledWorkload &cw,
+                 const std::vector<MachineConfig> &configs,
+                 const std::vector<BackingStore *> &stores);
+
+/**
+ * A worker-private reusable store bank (memory/backing_store.h).
+ * acquire() allocates (and pre-faults the image span of) a store on
+ * first use or on a capacity change; afterwards the same mapping is
+ * recycled, so a sweep pays one mmap per worker-lane instead of one
+ * mmap/munmap per point — the kernel-side churn that made the jobs=8
+ * sweep slower than serial on tiny points. Scalar points use lane 0;
+ * batched points take one lane per machine configuration.
  */
 class StoreArena
 {
@@ -129,22 +146,19 @@ class StoreArena
     BackingStore &
     acquire(std::size_t bytes, std::size_t prefaultBytes)
     {
-        if (!store_ || store_->size() != bytes) {
-            store_ = std::make_unique<BackingStore>(bytes);
-            prefaulted_ = 0;
-        }
-        if (prefaultBytes > store_->size())
-            prefaultBytes = store_->size();
-        if (prefaultBytes > prefaulted_) {
-            store_->prefault(prefaultBytes);
-            prefaulted_ = prefaultBytes;
-        }
-        return *store_;
+        return bank_.acquire(0, bytes, prefaultBytes);
+    }
+
+    /** Same, for lane `lane` of a batched point. */
+    BackingStore &
+    acquireLane(std::size_t lane, std::size_t bytes,
+                std::size_t prefaultBytes)
+    {
+        return bank_.acquire(lane, bytes, prefaultBytes);
     }
 
   private:
-    std::unique_ptr<BackingStore> store_;
-    std::size_t prefaulted_ = 0;
+    StoreBank bank_;
 };
 
 /**

@@ -9,8 +9,10 @@
 #include <memory>
 #include <string>
 #include <system_error>
+#include <unordered_set>
 
 #include "common/log.h"
+#include "sim/machine_lanes.h"
 #include "sim/trace.h"
 
 namespace nupea
@@ -30,18 +32,24 @@ secondsSince(std::chrono::steady_clock::time_point start)
 }
 
 int
-parseJobsValue(const std::string &text)
+parseCountValue(const char *opt, const std::string &text)
 {
     try {
-        int jobs = std::stoi(text);
-        if (jobs < 1)
-            fatal("--jobs must be >= 1, got ", text);
-        return jobs;
+        int value = std::stoi(text);
+        if (value < 1)
+            fatal(opt, " must be >= 1, got ", text);
+        return value;
     } catch (const FatalError &) {
         throw;
     } catch (const std::exception &) {
-        fatal("--jobs expects an integer, got '", text, "'");
+        fatal(opt, " expects an integer, got '", text, "'");
     }
+}
+
+int
+parseJobsValue(const std::string &text)
+{
+    return parseCountValue("--jobs", text);
 }
 
 void
@@ -53,6 +61,8 @@ printUsage(std::FILE *to, const char *prog,
                  "usage: %s [options]\n"
                  "  --jobs N | -j N | -jN   worker threads (default: "
                  "NUPEA_BENCH_JOBS, else core count)\n"
+                 "  --lanes N               batch up to N compatible "
+                 "points per lockstep machine (default 1)\n"
                  "  --stall-report          per-point stall-attribution "
                  "tables after the sweep\n"
                  "  --trace-out DIR         one Chrome trace_event JSON "
@@ -128,6 +138,12 @@ parseSweepArgs(int argc, char **argv,
             opts.jobs = parseJobsValue(arg.substr(7));
         } else if (arg.rfind("-j", 0) == 0 && arg.size() > 2) {
             opts.jobs = parseJobsValue(arg.substr(2));
+        } else if (arg == "--lanes") {
+            if (i + 1 >= argc)
+                fatal(arg, " expects a value");
+            opts.lanes = parseCountValue("--lanes", argv[++i]);
+        } else if (arg.rfind("--lanes=", 0) == 0) {
+            opts.lanes = parseCountValue("--lanes", arg.substr(8));
         } else if (arg == "--stall-report") {
             opts.stallReport = true;
         } else if (arg == "--trace-out") {
@@ -413,14 +429,25 @@ class TraceFiles
     }
 
     /** Open `<dir>/<label>.trace.json` and attach a sink for point
-     *  `index`; returns the sink to hook into the point's config. */
+     *  `index`; returns the sink to hook into the point's config.
+     *  Two labels sanitizing to one stem must not silently overwrite
+     *  each other's file, so a colliding stem gets the point index
+     *  (unique per sweep) appended; collision-free sweeps keep the
+     *  plain label-derived filenames. */
     ChromeTraceSink *
     open(std::size_t index, const std::string &dir,
          const std::string &label)
     {
         auto slot = std::make_unique<Slot>();
+        std::string stem = sanitizeLabel(label);
+        if (!usedStems_.insert(stem).second) {
+            stem += ".p" + std::to_string(index);
+            NUPEA_ASSERT(usedStems_.insert(stem).second,
+                         "trace file stem '", stem,
+                         "' collides even with the point index");
+        }
         slot->path = std::filesystem::path(dir) /
-                     (sanitizeLabel(label) + ".trace.json");
+                     (stem + ".trace.json");
         slot->os.open(slot->path);
         if (!slot->os)
             fatal("cannot open trace file ", slot->path.string());
@@ -444,6 +471,7 @@ class TraceFiles
 
   private:
     std::vector<std::unique_ptr<Slot>> slots_;
+    std::unordered_set<std::string> usedStems_;
     bool completed_ = false;
 };
 
@@ -464,41 +492,113 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
     std::vector<StoreArena> arenas(
         static_cast<std::size_t>(runner.jobs()));
 
-    std::vector<std::function<PointResult()>> tasks;
-    tasks.reserve(specs.size());
+    // Resolve the effective per-point configs up front: observability
+    // knobs apply here, and the lane grouping below compares the
+    // resolved configs (trace/attribution never gate batchability).
+    std::vector<MachineConfig> configs(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
-        const RunSpec &spec = specs[i];
-        NUPEA_ASSERT(spec.cw != nullptr, "RunSpec without a workload");
-
-        MachineConfig config = spec.config;
+        NUPEA_ASSERT(specs[i].cw != nullptr,
+                     "RunSpec without a workload");
+        configs[i] = specs[i].config;
         if (opts.observing())
-            config.stallAttribution = true;
+            configs[i].stallAttribution = true;
         if (!opts.traceDir.empty())
-            config.trace = traces.open(i, opts.traceDir, spec.label);
+            configs[i].trace =
+                traces.open(i, opts.traceDir, specs[i].label);
+    }
 
-        tasks.push_back([&spec, &arenas, config]() {
-            auto start = std::chrono::steady_clock::now();
-            PointResult point;
-            point.label = spec.label;
+    // Group consecutive points sharing one compiled image into lane
+    // batches of up to opts.lanes mutually batchable configs; with
+    // lanes <= 1 every batch is a singleton (the scalar path).
+    struct Batch
+    {
+        std::size_t begin = 0;
+        std::size_t count = 0;
+    };
+    const std::size_t max_lanes =
+        opts.lanes > 1 ? static_cast<std::size_t>(opts.lanes) : 1;
+    std::vector<Batch> batches;
+    for (std::size_t i = 0; i < specs.size();) {
+        std::size_t j = i + 1;
+        while (j < specs.size() && j - i < max_lanes &&
+               specs[j].cw == specs[i].cw &&
+               LaneMachine::batchable(configs[i], configs[j]))
+            ++j;
+        batches.push_back(Batch{i, j - i});
+        i = j;
+    }
+
+    std::vector<std::function<std::vector<PointResult>()>> tasks;
+    tasks.reserve(batches.size());
+    for (const Batch &batch : batches) {
+        tasks.push_back([&specs, &configs, &arenas, batch]() {
             int worker = SweepRunner::currentWorker();
             NUPEA_ASSERT(worker >= 0 &&
                              static_cast<std::size_t>(worker) <
                                  arenas.size(),
                          "sweep point outside a pool worker");
-            BackingStore &store =
-                arenas[static_cast<std::size_t>(worker)].acquire(
-                    config.memsys.memBytes, spec.cw->image.allocated());
-            point.run = runCompiled(*spec.cw, config, store);
-            point.wallSeconds = secondsSince(start);
-            return point;
+            StoreArena &arena =
+                arenas[static_cast<std::size_t>(worker)];
+            const CompiledWorkload &cw = *specs[batch.begin].cw;
+
+            std::vector<PointResult> points(batch.count);
+            for (std::size_t k = 0; k < batch.count; ++k)
+                points[k].label = specs[batch.begin + k].label;
+
+            // Acquire (and prefault) stores before starting the
+            // clock: a first-touch acquire faults in the whole image
+            // span, which once inflated per-point wall times ~16x on
+            // points whose simulated run is shorter than the fault
+            // storm. Timed span = resetTo + simulation, matching what
+            // "serial-equivalent cost" means for a recycled store.
+            if (batch.count == 1) {
+                const MachineConfig &config = configs[batch.begin];
+                BackingStore &store =
+                    arena.acquire(config.memsys.memBytes,
+                                  cw.image.allocated());
+                auto start = std::chrono::steady_clock::now();
+                points[0].run = runCompiled(cw, config, store);
+                points[0].wallSeconds = secondsSince(start);
+                return points;
+            }
+
+            std::vector<MachineConfig> lane_configs(
+                configs.begin() +
+                    static_cast<std::ptrdiff_t>(batch.begin),
+                configs.begin() +
+                    static_cast<std::ptrdiff_t>(batch.begin +
+                                                batch.count));
+            std::vector<BackingStore *> stores;
+            stores.reserve(batch.count);
+            for (std::size_t k = 0; k < batch.count; ++k)
+                stores.push_back(&arena.acquireLane(
+                    k, lane_configs[k].memsys.memBytes,
+                    cw.image.allocated()));
+            auto start = std::chrono::steady_clock::now();
+            std::vector<BenchRun> runs =
+                runCompiledLanes(cw, lane_configs, stores);
+            double per_point =
+                secondsSince(start) /
+                static_cast<double>(batch.count);
+            for (std::size_t k = 0; k < batch.count; ++k) {
+                points[k].run = std::move(runs[k]);
+                points[k].wallSeconds = per_point;
+            }
+            return points;
         });
     }
 
     SweepResult sweep;
     sweep.jobs = runner.jobs();
     auto start = std::chrono::steady_clock::now();
-    sweep.points = runner.map(std::move(tasks));
+    std::vector<std::vector<PointResult>> grouped =
+        runner.map(std::move(tasks));
     sweep.wallSeconds = secondsSince(start);
+    sweep.points.reserve(specs.size());
+    for (std::vector<PointResult> &group : grouped) {
+        for (PointResult &point : group)
+            sweep.points.push_back(std::move(point));
+    }
 
     traces.finishAll();
     if (!opts.traceDir.empty())

@@ -81,6 +81,11 @@ struct SweepOptions
     /** Run the static verifier on every compilation (`--verify`, the
      *  default; `--no-verify` clears it). */
     bool verify = true;
+    /** Batch up to this many consecutive same-image, mutually
+     *  batchable points (LaneMachine::batchable) into one lockstep
+     *  LaneMachine per task; 1 runs every point on its own scalar
+     *  Machine. Simulated results are bit-identical either way. */
+    int lanes = 1;
 
     /** Any observability feature requested? */
     bool
@@ -94,8 +99,9 @@ struct SweepOptions
 int defaultJobs();
 
 /**
- * Parse --jobs N / --jobs=N / -j N / -jN, --stall-report,
- * --trace-out DIR / --trace-out=DIR, and --verify / --no-verify.
+ * Parse --jobs N / --jobs=N / -j N / -jN, --lanes N / --lanes=N,
+ * --stall-report, --trace-out DIR / --trace-out=DIR, and
+ * --verify / --no-verify.
  * --help / -h prints the usage message and exits 0. Any other
  * `-`/`--` argument is fatal() with the usage message — a typo like
  * `--job 8` must not silently run serial. Benches with their own
@@ -228,7 +234,10 @@ struct RunSpec
 struct PointResult
 {
     BenchRun run;
-    double wallSeconds = 0.0; ///< host wall-clock of this point
+    /** Host wall-clock of the simulated run only (store acquisition
+     *  and page prefaulting are excluded); for a lane-batched point,
+     *  the batch wall divided evenly over its lanes. */
+    double wallSeconds = 0.0;
     std::string label;
 };
 
@@ -250,10 +259,21 @@ struct SweepResult
  * image before every run (see BackingStore::resetTo), instead of
  * mapping a fresh store per point. When the runner's options request
  * observability, every point runs with stall attribution (and, with
- * a trace directory, writes `<dir>/<label>.trace.json`); per-point
- * stall reports print after the sweep drains, in submission order.
- * If the sweep throws, partially-written trace files are removed
- * rather than left as truncated, invalid JSON.
+ * a trace directory, writes `<dir>/<label>.trace.json`, suffixing
+ * the point index when two labels sanitize to the same file stem);
+ * per-point stall reports print after the sweep drains, in
+ * submission order. If the sweep throws, partially-written trace
+ * files are removed rather than left as truncated, invalid JSON.
+ *
+ * With options().lanes > 1, consecutive specs that share a compiled
+ * workload and mutually batchable configs (LaneMachine::batchable:
+ * same arena geometry and energy table; memory model, clock divider
+ * and observability may differ) run as lanes of one LaneMachine per
+ * task, sharing dispatch tables. Lane batching
+ * composes with --jobs (each batch is one pool task) and keeps
+ * per-lane results bit-identical to the scalar path (enforced by
+ * test_machine_lanes); points that cannot batch fall back to a
+ * scalar Machine.
  */
 SweepResult runSweep(SweepRunner &runner,
                      const std::vector<RunSpec> &specs);

@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/byte_buffer.h"
 #include "common/log.h"
@@ -133,6 +135,56 @@ class BackingStore
     ByteBuffer bytes_;
     std::size_t next_ = 64;
     std::size_t dirty_ = 0; ///< storeWord high-water mark
+};
+
+/**
+ * A bank of recyclable BackingStores, one per lane of a batched (or
+ * repeated) run over a shared read-only image. Each lane's store is
+ * allocated (and its image span pre-faulted) on first acquire or on a
+ * capacity change, then recycled: callers resetTo() it from the
+ * shared image per run, so a lane pays O(bytes touched) per point
+ * instead of an mmap/munmap pair — the kernel-side churn that
+ * serializes concurrent sweep workers. A bank with only lane 0 in use
+ * degenerates to the single recyclable store the scalar path uses.
+ */
+class StoreBank
+{
+  public:
+    /**
+     * Store for `lane` with exactly `bytes` capacity, pages for the
+     * first `prefaultBytes` already faulted in. Contents unspecified;
+     * reset per run. Lanes grow the bank on demand.
+     */
+    BackingStore &
+    acquire(std::size_t lane, std::size_t bytes,
+            std::size_t prefaultBytes)
+    {
+        if (lane >= slots_.size())
+            slots_.resize(lane + 1);
+        Slot &slot = slots_[lane];
+        if (!slot.store || slot.store->size() != bytes) {
+            slot.store = std::make_unique<BackingStore>(bytes);
+            slot.prefaulted = 0;
+        }
+        if (prefaultBytes > slot.store->size())
+            prefaultBytes = slot.store->size();
+        if (prefaultBytes > slot.prefaulted) {
+            slot.store->prefault(prefaultBytes);
+            slot.prefaulted = prefaultBytes;
+        }
+        return *slot.store;
+    }
+
+    std::size_t lanesAllocated() const { return slots_.size(); }
+
+  private:
+    struct Slot
+    {
+        std::unique_ptr<BackingStore> store;
+        std::size_t prefaulted = 0; ///< prefault high-water mark
+    };
+
+    std::vector<Slot> slots_;
 };
 
 } // namespace nupea

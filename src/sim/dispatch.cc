@@ -1,0 +1,93 @@
+#include "sim/dispatch.h"
+
+#include "common/log.h"
+
+namespace nupea
+{
+
+DispatchTables
+buildDispatchTables(const Graph &graph, const Placement &placement,
+                    const EnergyParams &energy)
+{
+    DispatchTables t;
+    std::size_t n = graph.numNodes();
+    NUPEA_ASSERT(placement.pos.size() == n,
+                 "placement does not cover the graph");
+
+    // Pass 1: per-node dispatch rows — opcode traits, flat port
+    // bases, placement tile, per-firing energy. After this pass the
+    // scheduling loops never consult graph / opTraits() again.
+    t.lanes.resize(n);
+    std::uint32_t num_ports = 0;
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = graph.node(id);
+        const OpTraits &traits = opTraits(node.op);
+        NodeLane &lane = t.lanes[id];
+        lane.op = node.op;
+        lane.fu = traits.fu;
+        lane.combinational = traits.combinational;
+        lane.isMemory = traits.isMemory;
+        lane.numInputs = static_cast<std::uint8_t>(node.inputs.size());
+        lane.portBase = num_ports;
+        num_ports += lane.numInputs;
+        lane.coord = placement.of(id);
+        lane.imm = node.imm;
+        switch (traits.fu) {
+          case FuClass::Arith:
+            lane.fireEnergy = energy.arithFire;
+            break;
+          case FuClass::Control:
+            lane.fireEnergy = energy.controlFire;
+            break;
+          case FuClass::Mem:
+            lane.fireEnergy = energy.memIssue;
+            break;
+          case FuClass::XData:
+            lane.fireEnergy = energy.xdataFire;
+            break;
+        }
+        if (traits.isMemory) {
+            lane.memIndex = static_cast<std::int32_t>(t.memNodes.size());
+            t.memNodes.push_back(id);
+        }
+    }
+    t.numPorts = num_ports;
+
+    // Pass 2: flat input connections and fanout edges. dstPort is an
+    // arena ring index and hopEnergy the exact per-token data-NoC
+    // charge, so emit() is a pure table walk.
+    t.inPorts.resize(num_ports);
+    const auto &fanout = graph.fanout();
+    std::size_t num_edges = 0;
+    for (NodeId id = 0; id < n; ++id)
+        num_edges += fanout[id].size();
+    t.outEdges.reserve(num_edges);
+    for (NodeId id = 0; id < n; ++id) {
+        const Node &node = graph.node(id);
+        NodeLane &lane = t.lanes[id];
+        for (std::size_t p = 0; p < node.inputs.size(); ++p) {
+            const InputConn &in = node.inputs[p];
+            InPort &port = t.inPorts[lane.portBase + p];
+            port.src = in.src;
+            port.imm = in.imm;
+            port.isImm = in.isImm;
+            if (in.isImm)
+                lane.immMask |= static_cast<std::uint8_t>(1u << p);
+        }
+        lane.outBase = static_cast<std::uint32_t>(t.outEdges.size());
+        for (const PortRef &dst : fanout[id]) {
+            OutEdge edge;
+            edge.dst = dst.node;
+            edge.dstPort = t.lanes[dst.node].portBase + dst.port;
+            edge.hopEnergy =
+                energy.noCHopPerToken *
+                lane.coord.manhattan(t.lanes[dst.node].coord);
+            t.outEdges.push_back(edge);
+        }
+        lane.outCount =
+            static_cast<std::uint32_t>(t.outEdges.size()) - lane.outBase;
+    }
+    return t;
+}
+
+} // namespace nupea

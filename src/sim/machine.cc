@@ -52,7 +52,8 @@ Machine::Machine(const Graph &graph, const Placement &placement,
                  const Topology &topo, const MachineConfig &config,
                  BackingStore &store)
     : graph_(graph), placement_(placement), topo_(topo), config_(config),
-      store_(store), memsys_(config.memsys, store)
+      store_(store), memsys_(config.memsys, store),
+      disp_(buildDispatchTables(graph, placement, config.energy))
 {
     NUPEA_ASSERT(config_.clockDivider >= 1);
     NUPEA_ASSERT(config_.fifoDepth >= 1);
@@ -67,87 +68,17 @@ Machine::Machine(const Graph &graph, const Placement &placement,
     memModel_ = makeMemAccessModel(mm, topo_, memsys_);
 
     std::size_t n = graph_.numNodes();
-    NUPEA_ASSERT(placement_.pos.size() == n,
-                 "placement does not cover the graph");
-
-    // Pass 1: per-node dispatch rows — opcode traits, flat port
-    // bases, placement tile, per-firing energy. After this pass the
-    // scheduling loop never consults graph_ / opTraits() again.
-    lanes_.resize(n);
-    std::uint32_t num_ports = 0;
-    for (NodeId id = 0; id < n; ++id) {
-        const Node &node = graph_.node(id);
-        const OpTraits &traits = opTraits(node.op);
-        NodeLane &lane = lanes_[id];
-        lane.op = node.op;
-        lane.fu = traits.fu;
-        lane.combinational = traits.combinational;
-        lane.isMemory = traits.isMemory;
-        lane.numInputs = static_cast<std::uint8_t>(node.inputs.size());
-        lane.portBase = num_ports;
-        num_ports += lane.numInputs;
-        lane.coord = placement_.of(id);
-        switch (traits.fu) {
-          case FuClass::Arith:
-            lane.fireEnergy = config_.energy.arithFire;
-            break;
-          case FuClass::Control:
-            lane.fireEnergy = config_.energy.controlFire;
-            break;
-          case FuClass::Mem:
-            lane.fireEnergy = config_.energy.memIssue;
-            break;
-          case FuClass::XData:
-            lane.fireEnergy = config_.energy.xdataFire;
-            break;
-        }
-        if (traits.isMemory) {
-            lane.memIndex = static_cast<std::int32_t>(memNodes_.size());
-            memNodes_.push_back(id);
-        }
-    }
-    tokens_.init(num_ports, static_cast<std::size_t>(config_.fifoDepth));
-    pending_.init(memNodes_.size(),
+    tokens_.init(disp_.numPorts,
+                 static_cast<std::size_t>(config_.fifoDepth));
+    pending_.init(disp_.memNodes.size(),
                   static_cast<std::size_t>(config_.maxOutstanding));
 
-    // Pass 2: flat input connections and fanout edges. dstPort is an
-    // arena ring index and hopEnergy the exact per-token data-NoC
-    // charge, so emit() is a pure table walk.
-    inPorts_.resize(num_ports);
-    const auto &fanout = graph_.fanout();
-    std::size_t num_edges = 0;
-    for (NodeId id = 0; id < n; ++id)
-        num_edges += fanout[id].size();
-    outEdges_.reserve(num_edges);
-    for (NodeId id = 0; id < n; ++id) {
-        const Node &node = graph_.node(id);
-        NodeLane &lane = lanes_[id];
-        for (std::size_t p = 0; p < node.inputs.size(); ++p) {
-            const InputConn &in = node.inputs[p];
-            InPort &port = inPorts_[lane.portBase + p];
-            port.src = in.src;
-            port.imm = in.imm;
-            port.isImm = in.isImm;
-            if (in.isImm) {
-                // Immediates live in their ring as one resident,
-                // always-visible token (never popped, never emitted
-                // into), so portVisible() is a plain ring probe.
-                lane.immMask |= static_cast<std::uint8_t>(1u << p);
-                tokens_.push(lane.portBase + p, Token{in.imm, 0});
-            }
-        }
-        lane.outBase = static_cast<std::uint32_t>(outEdges_.size());
-        for (const PortRef &dst : fanout[id]) {
-            OutEdge edge;
-            edge.dst = dst.node;
-            edge.dstPort = lanes_[dst.node].portBase + dst.port;
-            edge.hopEnergy =
-                config_.energy.noCHopPerToken *
-                lane.coord.manhattan(lanes_[dst.node].coord);
-            outEdges_.push_back(edge);
-        }
-        lane.outCount =
-            static_cast<std::uint32_t>(outEdges_.size()) - lane.outBase;
+    // Immediates live in their ring as one resident, always-visible
+    // token (never popped, never emitted into), so portVisible() is a
+    // plain ring probe.
+    for (std::uint32_t p = 0; p < disp_.numPorts; ++p) {
+        if (disp_.inPorts[p].isImm)
+            tokens_.push(p, Token{disp_.inPorts[p].imm, 0});
     }
 
     mergeState_.assign(n, MergeState::Init);
@@ -162,7 +93,7 @@ Machine::Machine(const Graph &graph, const Placement &placement,
     listNow_.reserve(n);
     listNext_.reserve(n);
     for (NodeId id = 0; id < n; ++id) {
-        if (lanes_[id].op == Op::Source) {
+        if (disp_.lanes[id].op == Op::Source) {
             sourcePending_[id] = 1;
             listNext_.push_back(id);
             inNext_[id] = 1;
@@ -229,7 +160,7 @@ Machine::portVisible(std::uint32_t p, Word &value) const
 bool
 Machine::inputVisible(NodeId id, int port, Word &value) const
 {
-    return portVisible(lanes_[id].portBase +
+    return portVisible(disp_.lanes[id].portBase +
                            static_cast<std::uint32_t>(port),
                        value);
 }
@@ -238,8 +169,8 @@ void
 Machine::popInput(NodeId id, int port)
 {
     std::uint32_t p =
-        lanes_[id].portBase + static_cast<std::uint32_t>(port);
-    const InPort &in = inPorts_[p];
+        disp_.lanes[id].portBase + static_cast<std::uint32_t>(port);
+    const InPort &in = disp_.inPorts[p];
     if (in.isImm)
         return;
     tokens_.pop(p);
@@ -251,8 +182,8 @@ Machine::popInput(NodeId id, int port)
 bool
 Machine::outputsHaveCredit(NodeId id) const
 {
-    const NodeLane &lane = lanes_[id];
-    const OutEdge *edge = outEdges_.data() + lane.outBase;
+    const NodeLane &lane = disp_.lanes[id];
+    const OutEdge *edge = disp_.outEdges.data() + lane.outBase;
     for (std::uint32_t k = 0; k < lane.outCount; ++k, ++edge) {
         if (tokens_.full(edge->dstPort))
             return false;
@@ -263,8 +194,8 @@ Machine::outputsHaveCredit(NodeId id) const
 void
 Machine::emit(NodeId id, Word value, Cycle visible_at)
 {
-    const NodeLane &lane = lanes_[id];
-    const OutEdge *edge = outEdges_.data() + lane.outBase;
+    const NodeLane &lane = disp_.lanes[id];
+    const OutEdge *edge = disp_.outEdges.data() + lane.outBase;
     for (std::uint32_t k = 0; k < lane.outCount; ++k, ++edge) {
         result_.energy.network += edge->hopEnergy;
         // TokenArena::push asserts ring capacity: emit without credit
@@ -298,7 +229,7 @@ Machine::fireProlog(NodeId id, const NodeLane &lane)
 bool
 Machine::tryFire(NodeId id)
 {
-    const NodeLane &lane = lanes_[id];
+    const NodeLane &lane = disp_.lanes[id];
     const Cycle out_cycle = lane.combinational ? now_ : now_ + 1;
     Word a = 0, b = 0, c = 0;
     // Readiness order within each op: operands before consumer
@@ -522,10 +453,10 @@ Machine::deliverResponses()
 {
     // Deliver the oldest due response of every memory node (one per
     // node per cycle: the PE's single output port).
-    for (std::size_t m = 0; m < memNodes_.size(); ++m) {
+    for (std::size_t m = 0; m < disp_.memNodes.size(); ++m) {
         if (pending_.empty(m) || pending_.front(m).fabricReady > now_)
             continue;
-        NodeId id = memNodes_[m];
+        NodeId id = disp_.memNodes[m];
         if (!outputsHaveCredit(id)) {
             // The due-but-blocked response flips this node's
             // classification (MemWait -> RespUndeliverable) without
@@ -551,7 +482,7 @@ Machine::deliverResponses()
 StallReason
 Machine::classifyStall(NodeId id) const
 {
-    const NodeLane &lane = lanes_[id];
+    const NodeLane &lane = disp_.lanes[id];
     const std::size_t mi = static_cast<std::size_t>(lane.memIndex);
     const bool has_pending = lane.memIndex >= 0 && !pending_.empty(mi);
 
@@ -627,7 +558,7 @@ Machine::closeSpan(NodeId id, StallReason reason, Cycle upTo)
         return;
     auto ri = static_cast<std::size_t>(reason);
     nodeStalls_[id].cycles[ri] += span;
-    classStalls_[static_cast<std::size_t>(lanes_[id].fu)][ri] += span;
+    classStalls_[static_cast<std::size_t>(disp_.lanes[id].fu)][ri] += span;
 }
 
 void
@@ -690,7 +621,7 @@ Machine::flushAttribution()
     }
     // Per-node rows only for memory nodes: they are the subjects of
     // the paper's attribution questions and there are few of them.
-    for (NodeId id : memNodes_) {
+    for (NodeId id : disp_.memNodes) {
         for (std::size_t ri = 0; ri < kNumStallReasons; ++ri) {
             if (nodeStalls_[id].cycles[ri] == 0)
                 continue;
@@ -709,7 +640,7 @@ Machine::checkCleanliness()
 {
     result_.clean = true;
     for (NodeId id = 0; id < graph_.numNodes(); ++id) {
-        const NodeLane &lane = lanes_[id];
+        const NodeLane &lane = disp_.lanes[id];
         for (std::uint32_t p = 0; p < lane.numInputs; ++p) {
             // Resident immediate tokens are not stranded work.
             if (!(lane.immMask >> p & 1) &&
@@ -802,8 +733,8 @@ Machine::run()
                 now_ = wakeups_.top();
                 // Queue every memory node with pending responses for
                 // the cycle we jumped to (the next loop iteration).
-                for (std::size_t m = 0; m < memNodes_.size(); ++m) {
-                    NodeId id = memNodes_[m];
+                for (std::size_t m = 0; m < disp_.memNodes.size(); ++m) {
+                    NodeId id = disp_.memNodes[m];
                     if (!pending_.empty(m) && !inNext_[id]) {
                         inNext_[id] = 1;
                         listNext_.push_back(id);
@@ -828,7 +759,7 @@ Machine::run()
     // consumed at least one token (ascending id keeps the map order
     // identical to on-the-fly insertion).
     for (NodeId id = 0; id < graph_.numNodes(); ++id) {
-        if (lanes_[id].op == Op::Sink && sinkRec_[id].count > 0)
+        if (disp_.lanes[id].op == Op::Sink && sinkRec_[id].count > 0)
             result_.sinks[id] = sinkRec_[id];
     }
 

@@ -48,6 +48,7 @@
 #include "fabric/topology.h"
 #include "memory/backing_store.h"
 #include "memory/memsys.h"
+#include "sim/dispatch.h"
 #include "sim/energy.h"
 #include "sim/mem_model.h"
 #include "sim/token_arena.h"
@@ -199,42 +200,6 @@ class Machine
         std::uint32_t fabricReady; ///< earliest delivery fabric cycle
     };
 
-    /** One input connection, flattened for the hot loop. */
-    struct InPort
-    {
-        NodeId src = kInvalidId; ///< producer node; kInvalidId for imm
-        Word imm = 0;
-        bool isImm = false;
-    };
-
-    /** One fanout edge with its arena destination precomputed. */
-    struct OutEdge
-    {
-        NodeId dst = kInvalidId;
-        std::uint32_t dstPort = 0; ///< flat ring index in tokens_
-        double hopEnergy = 0.0;    ///< data-NoC energy per token
-    };
-
-    /**
-     * Per-node dispatch row: everything the scheduling loop needs,
-     * resolved from Graph / opTraits() / Placement at construction.
-     */
-    struct NodeLane
-    {
-        Op op = Op::Sink;
-        FuClass fu = FuClass::XData;
-        bool combinational = false;
-        bool isMemory = false;
-        std::uint8_t numInputs = 0;
-        std::uint8_t immMask = 0; ///< bit p set: input p is immediate
-        std::uint32_t portBase = 0; ///< first flat ring in tokens_
-        std::uint32_t outBase = 0;  ///< first OutEdge in outEdges_
-        std::uint32_t outCount = 0;
-        std::int32_t memIndex = -1; ///< ring in pending_; -1 if not mem
-        Coord coord;                ///< placement tile
-        double fireEnergy = 0.0;    ///< per-firing FU energy
-    };
-
     bool inputVisible(NodeId id, int port, Word &value) const;
     bool portVisible(std::uint32_t p, Word &value) const;
     void popInput(NodeId id, int port);
@@ -276,11 +241,9 @@ class Machine
     Cycle now_ = 0; ///< current fabric cycle
     bool attrOn_ = false; ///< config_.stallAttribution, hot copy
 
-    /** @{ Flat per-node dispatch tables (built once, read-only). */
-    std::vector<NodeLane> lanes_;
-    std::vector<InPort> inPorts_;   ///< indexed by NodeLane::portBase
-    std::vector<OutEdge> outEdges_; ///< indexed by NodeLane::outBase
-    /** @} */
+    /** Flat per-node dispatch tables (built once, read-only; see
+     *  sim/dispatch.h — shared layout with the batched LaneMachine). */
+    DispatchTables disp_;
 
     /** Operand FIFOs: one ring per (node, input port). Immediate
      *  operands are materialized as a permanently-resident,
@@ -304,7 +267,6 @@ class Machine
      *  capacity maxOutstanding), indexed by NodeLane::memIndex. */
     TokenArena<PendingResponse> pending_;
     std::vector<int> outstanding_;
-    std::vector<NodeId> memNodes_;
     /** Total in-flight responses across all memory nodes, so the
      *  per-cycle quiescence / delivery checks are O(1). */
     std::size_t inFlight_ = 0;

@@ -1,0 +1,821 @@
+#include "sim/machine_lanes.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+#include "sim/trace.h"
+
+namespace nupea
+{
+
+namespace
+{
+
+/** FU-class name for stall stat keys (mirrors machine.cc). */
+std::string_view
+fuClassKey(FuClass fu)
+{
+    switch (fu) {
+      case FuClass::Arith: return "arith";
+      case FuClass::Control: return "control";
+      case FuClass::Mem: return "mem";
+      case FuClass::XData: return "xdata";
+    }
+    return "?";
+}
+
+/** Reasons that open/close a trace stall interval (not fired/idle). */
+bool
+isTracedStall(StallReason r)
+{
+    return r != StallReason::Fired && r != StallReason::Idle;
+}
+
+} // namespace
+
+bool
+LaneMachine::batchable(const MachineConfig &a, const MachineConfig &b)
+{
+    // Energy params are baked into the shared dispatch tables, so
+    // equality must be bitwise (memcmp over the all-double struct),
+    // not merely numeric.
+    return a.fifoDepth == b.fifoDepth &&
+           a.maxOutstanding == b.maxOutstanding &&
+           std::memcmp(&a.energy, &b.energy, sizeof(EnergyParams)) == 0;
+}
+
+LaneMachine::LaneMachine(const Graph &graph, const Placement &placement,
+                         const Topology &topo,
+                         const std::vector<LaneSpec> &specs)
+    : graph_(graph), placement_(placement), topo_(topo)
+{
+    NUPEA_ASSERT(!specs.empty(), "LaneMachine needs at least one lane");
+    const MachineConfig &c0 = specs.front().config;
+    for (const LaneSpec &s : specs) {
+        NUPEA_ASSERT(s.store != nullptr, "lane without a backing store");
+        NUPEA_ASSERT(batchable(c0, s.config),
+                     "lane configs not batchable: fifoDepth / "
+                     "maxOutstanding / energy params differ");
+        NUPEA_ASSERT(s.config.clockDivider >= 1);
+        NUPEA_ASSERT(s.config.fifoDepth >= 1);
+        NUPEA_ASSERT(s.config.maxOutstanding >= 1);
+        // NodeHot packs the in-flight count into 16 bits.
+        NUPEA_ASSERT(s.config.maxOutstanding <= 0xffff,
+                     "maxOutstanding overflows NodeHot");
+        // Token/PendingResponse pack their cycle into 32 bits, and
+        // the front mirrors rely on kNever being unreachable.
+        NUPEA_ASSERT(s.config.maxFabricCycles < 0xffffff00ull,
+                     "watchdog bound too large for packed token cycles");
+    }
+
+    disp_ = buildDispatchTables(graph_, placement_, c0.energy);
+    const std::size_t n = graph_.numNodes();
+    const std::size_t num_lanes = specs.size();
+    const std::size_t num_mem = disp_.memNodes.size();
+
+    // NodeHot packs the full-consumer-ring credit count into 16 bits;
+    // a node would need >65535 fan-out edges to overflow it.
+    for (std::size_t id = 0; id < n; ++id)
+        NUPEA_ASSERT(disp_.lanes[id].outCount <= 0xffffu,
+                     "node fanout overflows NodeHot credit count");
+
+    tokens_.init(disp_.numPorts, static_cast<std::size_t>(c0.fifoDepth),
+                 num_lanes);
+    pending_.init(num_mem, static_cast<std::size_t>(c0.maxOutstanding),
+                  num_lanes);
+    frontTok_.assign(num_lanes * disp_.numPorts, Token{0, kNever});
+    pendFront_.assign(num_lanes * num_mem, PendingResponse{0, kNever});
+
+    lanes_.reserve(num_lanes);
+    for (std::size_t li = 0; li < num_lanes; ++li) {
+        const LaneSpec &spec = specs[li];
+        auto lane = std::make_unique<Lane>(spec.config, *spec.store);
+        Lane &L = *lane;
+        L.attrOn = L.config.stallAttribution;
+        L.tokBase = tokens_.laneBase(li);
+        L.pendBase = pending_.laneBase(li);
+
+        MemModelConfig mm = L.config.mem;
+        mm.clockDivider = L.config.clockDivider;
+        L.memModel = makeMemAccessModel(mm, topo_, L.memsys);
+
+        // Immediates: one resident, always-visible token per imm ring
+        // (never popped, never emitted into), mirrored in frontTok_.
+        for (std::uint32_t p = 0; p < disp_.numPorts; ++p) {
+            if (disp_.inPorts[p].isImm) {
+                Token t{disp_.inPorts[p].imm, 0};
+                tokens_.push(L.tokBase + p, t);
+                frontTok_[L.tokBase + p] = t;
+            }
+        }
+
+        L.hot.assign(n, NodeHot{});
+        L.sinkRec.assign(n, SinkRecord{});
+        L.listNow.reserve(n);
+        L.listNext.reserve(n);
+        for (NodeId id = 0; id < n; ++id) {
+            if (disp_.lanes[id].op == Op::Source) {
+                L.hot[id].opState = 1; // emit pending
+                L.listNext.push_back(id);
+                L.hot[id].inList[1] = 1; // "next" of phase 0
+            }
+        }
+        if (L.attrOn) {
+            L.nodeStalls.resize(n);
+            L.lastReason.assign(
+                n, static_cast<std::uint8_t>(StallReason::Idle));
+            L.reasonSince.assign(n, 0);
+            L.dirtyFlag.assign(n, 0);
+            L.dirtyList.reserve(n);
+            L.nodeMemLatency.resize(n);
+        }
+        if (L.config.trace) {
+            L.config.trace->setClockDivider(L.config.clockDivider);
+            for (NodeId id = 0; id < n; ++id)
+                L.config.trace->onNodeMeta(id, opName(graph_.node(id).op),
+                                           placement_.of(id));
+        }
+        lanes_.push_back(std::move(lane));
+    }
+}
+
+LaneMachine::~LaneMachine() = default;
+
+void
+LaneMachine::activate(Lane &L, NodeId id, Cycle cycle)
+{
+    NodeHot &h = L.hot[id];
+    if (cycle <= L.now) {
+        if (!h.inList[L.phase]) {
+            h.inList[L.phase] = 1;
+            L.listNow.push_back(id);
+        }
+    } else {
+        const std::uint8_t nx = L.phase ^ 1;
+        if (!h.inList[nx]) {
+            h.inList[nx] = 1;
+            L.listNext.push_back(id);
+        }
+    }
+}
+
+void
+LaneMachine::markDirty(Lane &L, NodeId id)
+{
+    if (!L.dirtyFlag[id]) {
+        L.dirtyFlag[id] = 1;
+        L.dirtyList.push_back(id);
+    }
+}
+
+bool
+LaneMachine::portVisible(const Lane &L, std::uint32_t p,
+                         Word &value) const
+{
+    // The mirror holds the front token, or the kNever sentinel for an
+    // empty ring, so one 8-byte load answers both "present" and
+    // "visible" (equivalent to the scalar peek + visibleAt probe).
+    const Token t = frontTok_[L.tokBase + p];
+    if (t.visibleAt > L.now)
+        return false;
+    value = t.value;
+    return true;
+}
+
+void
+LaneMachine::popInput(Lane &L, NodeId id, int port)
+{
+    std::uint32_t p =
+        disp_.lanes[id].portBase + static_cast<std::uint32_t>(port);
+    const InPort &in = disp_.inPorts[p];
+    if (in.isImm)
+        return;
+    const std::size_t ring = L.tokBase + p;
+    const auto ps = tokens_.popEx(ring);
+    frontTok_[ring] = ps.next ? *ps.next : Token{0, kNever};
+    // Freed credit may unblock the producer, this cycle.
+    if (in.src != kInvalidId) {
+        if (ps.wasFull)
+            --L.hot[in.src].fullCnt;
+        activate(L, in.src, L.now);
+    }
+}
+
+bool
+LaneMachine::outputsHaveCredit(const Lane &L, NodeId id) const
+{
+    return L.hot[id].fullCnt == 0;
+}
+
+void
+LaneMachine::emit(Lane &L, NodeHot &h, NodeId id, Word value,
+                  Cycle visible_at)
+{
+    const NodeLane &lane = disp_.lanes[id];
+    const OutEdge *edge = disp_.outEdges.data() + lane.outBase;
+    const Token tok{value, static_cast<std::uint32_t>(visible_at)};
+    for (std::uint32_t k = 0; k < lane.outCount; ++k, ++edge) {
+        L.result.energy.network += edge->hopEnergy;
+        const std::size_t ring = L.tokBase + edge->dstPort;
+        const auto ps = tokens_.pushEx(ring, tok);
+        if (ps.wasEmpty)
+            frontTok_[ring] = tok;
+        // Every ring has exactly one producer — this node — so the
+        // full-ring transition debits this node's credit count.
+        if (ps.nowFull)
+            ++h.fullCnt;
+        if (L.attrOn)
+            markDirty(L, edge->dst);
+        activate(L, edge->dst, visible_at);
+    }
+}
+
+void
+LaneMachine::fireProlog(Lane &L, NodeHot &h, NodeId id,
+                        const NodeLane &lane)
+{
+    ++L.result.firings;
+    if (lane.fu == FuClass::Mem)
+        L.result.energy.memory += lane.fireEnergy;
+    else
+        L.result.energy.compute += lane.fireEnergy;
+    h.firedAt = static_cast<std::uint32_t>(L.now);
+    if (L.config.trace)
+        L.config.trace->onFire(L.now, id, opName(lane.op), lane.coord);
+    // activate(id, now + 1), inlined on the already-loaded record.
+    const std::uint8_t nx = L.phase ^ 1;
+    if (!h.inList[nx]) {
+        h.inList[nx] = 1;
+        L.listNext.push_back(id);
+    }
+}
+
+bool
+LaneMachine::tryFire(Lane &L, NodeHot &h, NodeId id)
+{
+    const NodeLane &lane = disp_.lanes[id];
+    const Cycle out_cycle = lane.combinational ? L.now : L.now + 1;
+    Word a = 0, b = 0, c = 0;
+    switch (lane.op) {
+      case Op::Source:
+        if (!h.opState || h.fullCnt != 0)
+            return false;
+        fireProlog(L, h, id, lane);
+        h.opState = 0; // emitted
+        emit(L, h, id, lane.imm, out_cycle);
+        return true;
+
+      case Op::Sink: {
+        if (!portVisible(L, lane.portBase, a))
+            return false;
+        fireProlog(L, h, id, lane);
+        popInput(L, id, 0);
+        SinkRecord &rec = L.sinkRec[id];
+        ++rec.count;
+        rec.last = a;
+        rec.sum += a;
+        return true;
+      }
+
+      case Op::LoopMerge:
+        if (static_cast<MergeState>(h.opState) == MergeState::Init) {
+            if (!portVisible(L, lane.portBase + 0, a) ||
+                h.fullCnt != 0)
+                return false;
+            fireProlog(L, h, id, lane);
+            popInput(L, id, 0);
+            h.opState = static_cast<std::uint8_t>(MergeState::Ctrl);
+            emit(L, h, id, a, out_cycle);
+            return true;
+        }
+        if (!portVisible(L, lane.portBase + 2, c))
+            return false;
+        if (c != 0 && !portVisible(L, lane.portBase + 1, a))
+            return false;
+        if (h.fullCnt != 0)
+            return false;
+        fireProlog(L, h, id, lane);
+        popInput(L, id, 2);
+        if (c != 0) {
+            popInput(L, id, 1);
+            emit(L, h, id, a, out_cycle);
+        } else {
+            h.opState = static_cast<std::uint8_t>(MergeState::Init);
+        }
+        return true;
+
+      case Op::Invariant:
+        if (static_cast<HoldState>(h.opState) == HoldState::Empty) {
+            if (!portVisible(L, lane.portBase + 0, a) ||
+                h.fullCnt != 0)
+                return false;
+            fireProlog(L, h, id, lane);
+            popInput(L, id, 0);
+            h.heldValue = a;
+            h.opState = static_cast<std::uint8_t>(HoldState::Held);
+            emit(L, h, id, a, out_cycle);
+            return true;
+        }
+        if (!portVisible(L, lane.portBase + 1, c) || h.fullCnt != 0)
+            return false;
+        fireProlog(L, h, id, lane);
+        popInput(L, id, 1);
+        if (c != 0)
+            emit(L, h, id, h.heldValue, out_cycle);
+        else
+            h.opState = static_cast<std::uint8_t>(HoldState::Empty);
+        return true;
+
+      case Op::InvariantGated:
+        if (static_cast<HoldState>(h.opState) == HoldState::Empty) {
+            if (!portVisible(L, lane.portBase + 0, a) ||
+                h.fullCnt != 0)
+                return false;
+            fireProlog(L, h, id, lane);
+            popInput(L, id, 0);
+            h.heldValue = a;
+            h.opState = static_cast<std::uint8_t>(HoldState::Held);
+            return true;
+        }
+        if (!portVisible(L, lane.portBase + 1, c) || h.fullCnt != 0)
+            return false;
+        fireProlog(L, h, id, lane);
+        popInput(L, id, 1);
+        if (c != 0)
+            emit(L, h, id, h.heldValue, out_cycle);
+        else
+            h.opState = static_cast<std::uint8_t>(HoldState::Empty);
+        return true;
+
+      case Op::SteerTrue:
+      case Op::SteerFalse:
+        if (!portVisible(L, lane.portBase + 0, c) ||
+            !portVisible(L, lane.portBase + 1, a) || h.fullCnt != 0)
+            return false;
+        fireProlog(L, h, id, lane);
+        popInput(L, id, 0);
+        popInput(L, id, 1);
+        if ((c != 0) == (lane.op == Op::SteerTrue))
+            emit(L, h, id, a, out_cycle);
+        return true;
+
+      case Op::Select:
+        if (!portVisible(L, lane.portBase + 0, c) ||
+            !portVisible(L, lane.portBase + 1, a) ||
+            !portVisible(L, lane.portBase + 2, b) || h.fullCnt != 0)
+            return false;
+        fireProlog(L, h, id, lane);
+        popInput(L, id, 0);
+        popInput(L, id, 1);
+        popInput(L, id, 2);
+        emit(L, h, id, c != 0 ? a : b, out_cycle);
+        return true;
+
+      case Op::Load:
+      case Op::Store: {
+        if (h.outstanding >= L.config.maxOutstanding)
+            return false;
+        const bool is_store = lane.op == Op::Store;
+        if (!portVisible(L, lane.portBase + 0, a)) // address
+            return false;
+        Word data = 0;
+        if (is_store && !portVisible(L, lane.portBase + 1, data))
+            return false;
+        for (std::uint32_t p = is_store ? 2u : 1u; p < lane.numInputs;
+             ++p) {
+            if (!portVisible(L, lane.portBase + p, b))
+                return false;
+        }
+        fireProlog(L, h, id, lane);
+        for (std::uint32_t p = 0; p < lane.numInputs; ++p)
+            popInput(L, id, static_cast<int>(p));
+
+        Cycle issue_sys =
+            L.now * static_cast<Cycle>(L.config.clockDivider);
+        MemAccessOutcome out = L.memModel->access(
+            lane.coord, static_cast<Addr>(a), is_store, data, issue_sys);
+        if (L.config.trace)
+            L.config.trace->onMemIssue(issue_sys, out.completeAt, id,
+                                       static_cast<Addr>(a), is_store,
+                                       out.hit);
+        if (L.attrOn)
+            L.nodeMemLatency[id].sample(
+                static_cast<double>(out.completeAt - issue_sys));
+        double stages;
+        if (out.local) {
+            stages = 0.0;
+        } else if (L.config.mem.model == MemModel::Upea ||
+                   L.config.mem.model == MemModel::NumaUpea) {
+            stages = 2.0 * L.config.mem.upeaLatency;
+        } else {
+            stages = 2.0 * out.domain;
+        }
+        L.result.energy.memory +=
+            L.config.energy.arbHop * stages +
+            (out.hit ? L.config.energy.cacheHit
+                     : L.config.energy.cacheMiss);
+        if (is_store)
+            ++L.result.stores;
+        else
+            ++L.result.loads;
+
+        Cycle div = static_cast<Cycle>(L.config.clockDivider);
+        Cycle fabric_ready =
+            std::max<Cycle>((out.completeAt + div - 1) / div, L.now + 1);
+        const std::size_t ring =
+            L.pendBase + static_cast<std::size_t>(lane.memIndex);
+        const PendingResponse pr{
+            is_store ? Word{0} : out.data,
+            static_cast<std::uint32_t>(fabric_ready)};
+        if (pending_.empty(ring))
+            pendFront_[ring] = pr;
+        pending_.push(ring, pr);
+        ++h.outstanding;
+        ++L.inFlight;
+        L.wakeups.push(fabric_ready);
+        return true;
+      }
+
+      case Op::Neg:
+      case Op::Not:
+        if (!portVisible(L, lane.portBase + 0, a) || h.fullCnt != 0)
+            return false;
+        fireProlog(L, h, id, lane);
+        popInput(L, id, 0);
+        emit(L, h, id, evalUnary(lane.op, a), out_cycle);
+        return true;
+
+      default:
+        NUPEA_ASSERT(opIsBinaryArith(lane.op), "unhandled op ",
+                     opName(lane.op));
+        if (!portVisible(L, lane.portBase + 0, a) ||
+            !portVisible(L, lane.portBase + 1, b) || h.fullCnt != 0)
+            return false;
+        fireProlog(L, h, id, lane);
+        popInput(L, id, 0);
+        popInput(L, id, 1);
+        emit(L, h, id, evalBinary(lane.op, a, b), out_cycle);
+        return true;
+    }
+}
+
+void
+LaneMachine::deliverResponses(Lane &L)
+{
+    // Deliver the oldest due response of every memory node, in
+    // memIndex order (delivery order is observable through the
+    // memory-system call sequence, so it must match the scalar scan).
+    for (std::size_t m = 0; m < disp_.memNodes.size(); ++m) {
+        // The sentinel compares greater than any reachable cycle, so
+        // one load also skips empty rings.
+        const PendingResponse front = pendFront_[L.pendBase + m];
+        if (front.fabricReady > L.now)
+            continue;
+        NodeId id = disp_.memNodes[m];
+        NodeHot &h = L.hot[id];
+        if (h.fullCnt != 0) {
+            if (L.attrOn)
+                markDirty(L, id);
+            activate(L, id, L.now + 1); // retry next cycle
+            continue;
+        }
+        if (L.config.trace)
+            L.config.trace->onMemDeliver(L.now, id);
+        emit(L, h, id, front.value, L.now);
+        const std::size_t ring = L.pendBase + m;
+        const auto ps = pending_.popEx(ring);
+        pendFront_[ring] =
+            ps.next ? *ps.next : PendingResponse{0, kNever};
+        --h.outstanding;
+        --L.inFlight;
+        activate(L, id, L.now); // an issue slot freed up
+        if (ps.next)
+            L.wakeups.push(
+                std::max(Cycle{ps.next->fabricReady}, L.now + 1));
+    }
+}
+
+StallReason
+LaneMachine::classifyStall(const Lane &L, NodeId id) const
+{
+    const NodeLane &lane = disp_.lanes[id];
+    const std::size_t mi =
+        L.pendBase + static_cast<std::size_t>(lane.memIndex);
+    const bool has_pending = lane.memIndex >= 0 && !pending_.empty(mi);
+
+    if (has_pending && pending_.front(mi).fabricReady <= L.now &&
+        !outputsHaveCredit(L, id))
+        return StallReason::RespUndeliverable;
+
+    bool operands = true;
+    bool engaged = false;
+    Word v;
+    switch (lane.op) {
+      case Op::Source:
+        if (!L.hot[id].opState)
+            operands = false; // nothing left to emit, ever
+        else
+            return StallReason::Backpressure;
+        break;
+      case Op::LoopMerge: {
+        const auto ms = static_cast<MergeState>(L.hot[id].opState);
+        engaged = ms != MergeState::Init;
+        if (ms == MergeState::Init) {
+            operands = portVisible(L, lane.portBase + 0, v);
+        } else if (!portVisible(L, lane.portBase + 2, v)) {
+            operands = false;
+        } else {
+            operands = v == 0 || portVisible(L, lane.portBase + 1, v);
+        }
+        break;
+      }
+      case Op::Invariant:
+      case Op::InvariantGated: {
+        const auto hs = static_cast<HoldState>(L.hot[id].opState);
+        engaged = hs != HoldState::Empty;
+        operands = portVisible(
+            L, lane.portBase + (hs == HoldState::Empty ? 0 : 1), v);
+        break;
+      }
+      default:
+        for (std::uint32_t p = 0; operands && p < lane.numInputs; ++p)
+            operands = portVisible(L, lane.portBase + p, v);
+        break;
+    }
+
+    if (operands) {
+        if (lane.isMemory)
+            return StallReason::OutstandingCap;
+        return StallReason::Backpressure;
+    }
+    if (!engaged) {
+        for (std::uint32_t p = 0; p < lane.numInputs; ++p) {
+            if (!(lane.immMask >> p & 1) &&
+                !tokens_.empty(L.tokBase + lane.portBase + p)) {
+                engaged = true;
+                break;
+            }
+        }
+    }
+    if (engaged)
+        return StallReason::OperandWait;
+    if (has_pending)
+        return StallReason::MemWait;
+    return StallReason::Idle;
+}
+
+void
+LaneMachine::closeSpan(Lane &L, NodeId id, StallReason reason,
+                       Cycle upTo)
+{
+    Cycle span = upTo - L.reasonSince[id];
+    if (span == 0)
+        return;
+    auto ri = static_cast<std::size_t>(reason);
+    L.nodeStalls[id].cycles[ri] += span;
+    L.classStalls[static_cast<std::size_t>(disp_.lanes[id].fu)][ri] +=
+        span;
+}
+
+void
+LaneMachine::attributeDirty(Lane &L)
+{
+    if (L.config.trace && L.dirtyList.size() > 1)
+        std::sort(L.dirtyList.begin(), L.dirtyList.end());
+    for (NodeId id : L.dirtyList) {
+        L.dirtyFlag[id] = 0;
+        StallReason r = L.hot[id].firedAt == L.now
+                            ? StallReason::Fired
+                            : classifyStall(L, id);
+        auto prev = static_cast<StallReason>(L.lastReason[id]);
+        if (prev == r)
+            continue; // span extends; nothing to close
+        closeSpan(L, id, prev, L.now);
+        if (L.config.trace) {
+            if (isTracedStall(prev))
+                L.config.trace->onStallEnd(L.now, id,
+                                           stallReasonName(prev));
+            if (isTracedStall(r))
+                L.config.trace->onStallBegin(L.now, id,
+                                             stallReasonName(r));
+        }
+        L.lastReason[id] = static_cast<std::uint8_t>(r);
+        L.reasonSince[id] = L.now;
+    }
+    L.dirtyList.clear();
+}
+
+void
+LaneMachine::flushAttribution(Lane &L)
+{
+    for (NodeId id = 0; id < graph_.numNodes(); ++id)
+        closeSpan(L, id, static_cast<StallReason>(L.lastReason[id]),
+                  L.now);
+
+    if (L.config.trace) {
+        for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+            auto r = static_cast<StallReason>(L.lastReason[id]);
+            if (isTracedStall(r))
+                L.config.trace->onStallEnd(L.now, id,
+                                           stallReasonName(r));
+        }
+    }
+
+    for (std::size_t fu = 0; fu < L.classStalls.size(); ++fu) {
+        for (std::size_t ri = 0; ri < kNumStallReasons; ++ri) {
+            if (L.classStalls[fu][ri] == 0)
+                continue;
+            L.result.stats.counter(formatMessage(
+                "stall.", fuClassKey(static_cast<FuClass>(fu)), ".",
+                stallReasonName(static_cast<StallReason>(ri)))) =
+                L.classStalls[fu][ri];
+        }
+    }
+    for (NodeId id : disp_.memNodes) {
+        for (std::size_t ri = 0; ri < kNumStallReasons; ++ri) {
+            if (L.nodeStalls[id].cycles[ri] == 0)
+                continue;
+            L.result.stats.counter(formatMessage(
+                "stall.node", id, ".",
+                stallReasonName(static_cast<StallReason>(ri)))) =
+                L.nodeStalls[id].cycles[ri];
+        }
+    }
+    L.result.nodeStalls = std::move(L.nodeStalls);
+    L.result.nodeMemLatency = std::move(L.nodeMemLatency);
+}
+
+void
+LaneMachine::checkCleanliness(Lane &L)
+{
+    L.result.clean = true;
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        const NodeLane &lane = disp_.lanes[id];
+        for (std::uint32_t p = 0; p < lane.numInputs; ++p) {
+            if (!(lane.immMask >> p & 1) &&
+                !tokens_.empty(L.tokBase + lane.portBase + p)) {
+                L.result.clean = false;
+                L.result.problem = formatMessage(
+                    "token stranded at node ", id, " (",
+                    opName(lane.op), ") port ", p);
+                return;
+            }
+        }
+        if ((lane.op == Op::Invariant ||
+             lane.op == Op::InvariantGated) &&
+            static_cast<HoldState>(L.hot[id].opState) ==
+                HoldState::Held) {
+            L.result.clean = false;
+            L.result.problem =
+                formatMessage("invariant ", id, " still holds a value");
+            return;
+        }
+        if (lane.op == Op::LoopMerge &&
+            static_cast<MergeState>(L.hot[id].opState) !=
+                MergeState::Init) {
+            L.result.clean = false;
+            L.result.problem =
+                formatMessage("merge ", id, " not in init state");
+            return;
+        }
+        if (lane.memIndex >= 0 &&
+            !pending_.empty(L.pendBase +
+                            static_cast<std::size_t>(lane.memIndex))) {
+            L.result.clean = false;
+            L.result.problem = formatMessage(
+                "memory node ", id, " has undelivered responses");
+            return;
+        }
+    }
+}
+
+void
+LaneMachine::stepCycle(Lane &L)
+{
+    // One scalar fabric cycle, verbatim (see Machine::run()): roll the
+    // worklists, deliver due responses, fixpoint-walk the growing
+    // list, attribute, advance, and fast-forward across dead time.
+    L.listNow.swap(L.listNext);
+    L.listNext.clear();
+    L.phase ^= 1; // the flag swap, on the packed records
+
+    if (L.inFlight != 0)
+        deliverResponses(L);
+
+    bool any_activity = false;
+    for (std::size_t i = 0; i < L.listNow.size(); ++i) {
+        NodeId id = L.listNow[i];
+        NodeHot &h = L.hot[id];
+        h.inList[L.phase] = 0;
+        if (L.attrOn)
+            markDirty(L, id);
+        if (h.firedAt == L.now) {
+            // Fired earlier this cycle; revisit next cycle.
+            const std::uint8_t nx = L.phase ^ 1;
+            if (!h.inList[nx]) {
+                h.inList[nx] = 1;
+                L.listNext.push_back(id);
+            }
+            continue;
+        }
+        any_activity |= tryFire(L, h, id);
+    }
+    L.listNow.clear();
+
+    if (L.attrOn)
+        attributeDirty(L);
+
+    ++L.now;
+
+    if (L.listNext.empty()) {
+        const bool in_flight = L.inFlight != 0;
+        if (!any_activity && !in_flight) {
+            finalizeLane(L); // fully quiescent
+            return;
+        }
+        while (!L.wakeups.empty() && L.wakeups.top() <= L.now)
+            L.wakeups.pop();
+        if (in_flight && !L.wakeups.empty()) {
+            L.now = L.wakeups.top();
+            const std::uint8_t nx = L.phase ^ 1;
+            for (std::size_t m = 0; m < disp_.memNodes.size(); ++m) {
+                NodeId id = disp_.memNodes[m];
+                NodeHot &h = L.hot[id];
+                if (!pending_.empty(L.pendBase + m) &&
+                    !h.inList[nx]) {
+                    h.inList[nx] = 1;
+                    L.listNext.push_back(id);
+                }
+            }
+        }
+    }
+}
+
+void
+LaneMachine::finalizeLane(Lane &L)
+{
+    L.done = true;
+    L.result.fabricCycles = L.now;
+    L.result.systemCycles =
+        L.now * static_cast<Cycle>(L.config.clockDivider);
+    L.result.finished = L.now < L.config.maxFabricCycles;
+    if (!L.result.finished) {
+        L.result.problem = "fabric-cycle watchdog expired";
+        L.result.clean = false;
+    } else {
+        checkCleanliness(L);
+    }
+
+    for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+        if (disp_.lanes[id].op == Op::Sink && L.sinkRec[id].count > 0)
+            L.result.sinks[id] = L.sinkRec[id];
+    }
+
+    for (const auto &[name, value] : L.memModel->stats().counters())
+        L.result.stats.counter("fmnoc." + name) = value;
+    for (const auto &[name, d] : L.memModel->stats().dists())
+        L.result.stats.dist("fmnoc." + name) = d;
+    for (const auto &[name, value] : L.memsys.stats().counters())
+        L.result.stats.counter("mem." + name) = value;
+    for (const auto &[name, d] : L.memsys.stats().dists())
+        L.result.stats.dist("mem." + name) = d;
+    L.result.stats.counter("firings") = L.result.firings;
+    L.result.stats.counter("fabric_cycles") = L.result.fabricCycles;
+    L.result.stats.counter("system_cycles") = L.result.systemCycles;
+
+    if (L.attrOn)
+        flushAttribution(L);
+}
+
+std::vector<RunResult>
+LaneMachine::run()
+{
+    // Lanes share nothing mutable — every ring, mirror and stat slab
+    // is lane-sliced — so the host-side stepping order cannot affect
+    // any lane's simulated results (enforced lane-for-lane against
+    // the scalar Machine by test_machine_lanes). That makes stepping
+    // granularity a pure locality knob, and running each lane to
+    // completion keeps one lane's working set hot instead of cycling
+    // every lane's arenas through the cache per simulated cycle,
+    // which measured ~1.6x SLOWER than scalar on the 11-config
+    // basket. Cross-lane lockstep would only matter if lanes ever
+    // exchanged tokens; they are independent sweep points.
+    for (const auto &lane : lanes_) {
+        Lane &L = *lane;
+        while (!L.done) {
+            if (L.now >= L.config.maxFabricCycles)
+                finalizeLane(L); // watchdog expired
+            else
+                stepCycle(L);
+        }
+    }
+
+    std::vector<RunResult> out;
+    out.reserve(lanes_.size());
+    for (const auto &lane : lanes_)
+        out.push_back(std::move(lane->result));
+    return out;
+}
+
+} // namespace nupea

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Batched lane execution: N machine configurations over one compiled
+ * image, stepped in lockstep by a single engine.
+ *
+ * A sweep frequently simulates the same compiled graph + placement
+ * under many machine configurations (memory models, seeds). Each
+ * scalar Machine rebuilds identical dispatch tables and walks them
+ * with cold caches. A LaneMachine instead shares one read-only
+ * DispatchTables across N *lanes*, each a full independent machine
+ * state, and runs each lane to completion in turn. Lanes share no
+ * mutable state — per-lane FIFOs live in lane-major blocks of two
+ * common TokenArenas (see token_arena.h), and everything else
+ * (MemorySystem, access model, worklists, stats, attribution, trace)
+ * is private to the lane — so each lane's visit order, firing order,
+ * energy accumulation order, and memory-system call order are exactly
+ * those of a scalar Machine run. The contract the differential tests
+ * pin: lane i's RunResult is byte-identical to running Machine with
+ * lane i's config alone. (That contract is also why the host-side
+ * stepping order is per-lane run-to-completion rather than cross-lane
+ * lockstep: stepping order cannot change any simulated result, so it
+ * is purely a locality knob, and cycling N lanes' working sets
+ * through the cache per simulated cycle measured ~1.6x slower.)
+ *
+ * On top of the shared tables the lane engine restructures the
+ * per-node state the hot loop touches:
+ *
+ *  - a front-token mirror per ring (empty rings hold a sentinel whose
+ *    visibleAt can never be reached, legal because the watchdog bound
+ *    is checked at construction), making the operand-visibility probe
+ *    one 8-byte load — and a node's port mirrors are contiguous, so
+ *    a readiness probe reads one cache line;
+ *  - one packed 16-byte NodeHot record per node holding everything
+ *    else a visit reads or writes (fired cycle, full-consumer-ring
+ *    credit count, worklist flags, op state, held value, outstanding
+ *    count), so the scalar engine's five scattered per-node arrays
+ *    collapse to a single line touch per visit.
+ *
+ * Both are pure re-layouts of ring/node state (mirrors updated on
+ * push-to-empty, push-to-full, and pop), so they change engine
+ * speed, not behavior.
+ *
+ * Batching constraints: every lane must agree on fifoDepth and
+ * maxOutstanding (they size the shared arenas) and on EnergyParams
+ * (baked into the shared tables). Everything else — memory model,
+ * clock divider, memory-system config, watchdog, attribution, trace
+ * sink, backing store — is free per lane; see batchable().
+ */
+
+#ifndef NUPEA_SIM_MACHINE_LANES_H
+#define NUPEA_SIM_MACHINE_LANES_H
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/machine.h"
+
+namespace nupea
+{
+
+/** One lane of a batched run: an independent machine configuration
+ *  and backing store over the batch's shared compiled image. The
+ *  store is borrowed, exactly as in Machine. */
+struct LaneSpec
+{
+    MachineConfig config;
+    BackingStore *store = nullptr;
+};
+
+class LaneMachine
+{
+  public:
+    /** All specs must satisfy batchable() against each other and
+     *  carry a non-null store. */
+    LaneMachine(const Graph &graph, const Placement &placement,
+                const Topology &topo, const std::vector<LaneSpec> &specs);
+    ~LaneMachine();
+
+    /** Simulate every lane to quiescence (or its watchdog). Single
+     *  use. Result i corresponds to spec i. */
+    std::vector<RunResult> run();
+
+    std::size_t numLanes() const { return lanes_.size(); }
+
+    /** Whether two configs may share a batch: equal fifoDepth and
+     *  maxOutstanding (shared arena geometry) and bitwise-equal
+     *  EnergyParams (baked into the shared dispatch tables). */
+    static bool batchable(const MachineConfig &a, const MachineConfig &b);
+
+  private:
+    /** Packed ring entries; layouts mirror Machine's private types. */
+    struct Token
+    {
+        Word value;
+        std::uint32_t visibleAt;
+    };
+    struct PendingResponse
+    {
+        Word value;
+        std::uint32_t fabricReady;
+    };
+    enum class MergeState : std::uint8_t { Init, Ctrl };
+    enum class HoldState : std::uint8_t { Empty, Held };
+
+    /** Sentinel visibleAt / fabricReady for the front mirrors of
+     *  empty rings: unreachable because construction asserts
+     *  maxFabricCycles < 0xffffff00. */
+    static constexpr std::uint32_t kNever = 0xffffffffu;
+
+    /** firedAt sentinel (packed 32-bit cycle; same watchdog bound
+     *  argument as kNever). */
+    static constexpr std::uint32_t kNeverFired = 0xffffffffu;
+
+    /**
+     * The per-node state a hot-loop visit touches, packed into one
+     * 16-byte record so a visit reads one cache line where the
+     * scalar engine walks five arrays. `opState` overlays the
+     * op-specific byte: MergeState for LoopMerge, HoldState for
+     * Invariant*, pending-emit flag for Source — a node is only ever
+     * one of those, and all three initialize to their zero value
+     * except Source (seeded 1 at construction).
+     *
+     * The scalar engine swaps its two worklist-membership flag arrays
+     * when the cycle rolls; packed records cannot swap, so the flags
+     * are a pair indexed by the lane's phase bit ("now" is
+     * inList[phase], "next" is inList[phase ^ 1]) and the roll flips
+     * the phase instead.
+     */
+    struct NodeHot
+    {
+        std::uint32_t firedAt = kNeverFired; ///< packed cycle
+        Word heldValue = 0;                  ///< Invariant* slot
+        std::uint16_t fullCnt = 0;     ///< full consumer rings
+        std::uint16_t outstanding = 0; ///< mem requests in flight
+        std::uint8_t inList[2] = {0, 0}; ///< worklist flags, by phase
+        std::uint8_t opState = 0; ///< MergeState/HoldState/pending
+        std::uint8_t pad = 0;
+    };
+    static_assert(sizeof(NodeHot) == 16, "NodeHot must stay packed");
+
+    /** Everything one lane owns. Pinned on the heap (MemorySystem's
+     *  lazily-bound stat handles point into the object). */
+    struct Lane
+    {
+        Lane(const MachineConfig &cfg, BackingStore &s)
+            : config(cfg), store(s), memsys(cfg.memsys, s)
+        {
+        }
+
+        MachineConfig config;
+        BackingStore &store;
+        MemorySystem memsys;
+        std::unique_ptr<MemAccessModel> memModel;
+
+        Cycle now = 0;
+        bool attrOn = false;
+        bool done = false;
+        /** Worklist-flag index of the current cycle (see NodeHot). */
+        std::uint8_t phase = 0;
+
+        /** Flat bases of this lane's blocks in the shared arrays. */
+        std::size_t tokBase = 0;  ///< token rings / front mirrors
+        std::size_t pendBase = 0; ///< pending rings / front mirrors
+
+        /** Packed per-node hot records (see NodeHot). */
+        std::vector<NodeHot> hot;
+        std::vector<SinkRecord> sinkRec;
+
+        std::size_t inFlight = 0;
+        std::priority_queue<Cycle, std::vector<Cycle>,
+                            std::greater<Cycle>>
+            wakeups;
+
+        std::vector<NodeId> listNow;
+        std::vector<NodeId> listNext;
+
+        std::vector<NodeStallCounters> nodeStalls;
+        std::vector<std::uint8_t> lastReason;
+        std::vector<Cycle> reasonSince;
+        std::vector<std::uint8_t> dirtyFlag;
+        std::vector<NodeId> dirtyList;
+        std::vector<Distribution> nodeMemLatency;
+        std::array<std::array<std::uint64_t, kNumStallReasons>, 4>
+            classStalls{};
+
+        RunResult result;
+    };
+
+    // The per-visit call chain (stepCycle -> tryFire -> popInput /
+    // emit -> activate) runs tens of millions of times per sweep;
+    // forcing it flat removes several call frames per visit, which
+    // measures as a double-digit percent of engine time.
+    [[gnu::always_inline]] inline bool
+    portVisible(const Lane &L, std::uint32_t p, Word &value) const;
+    [[gnu::always_inline]] inline void
+    popInput(Lane &L, NodeId id, int port);
+    bool outputsHaveCredit(const Lane &L, NodeId id) const;
+    [[gnu::always_inline]] inline void
+    emit(Lane &L, NodeHot &h, NodeId id, Word value, Cycle visible_at);
+    bool tryFire(Lane &L, NodeHot &h, NodeId id);
+    [[gnu::always_inline]] inline void
+    fireProlog(Lane &L, NodeHot &h, NodeId id, const NodeLane &lane);
+    [[gnu::always_inline]] inline void
+    activate(Lane &L, NodeId id, Cycle cycle);
+
+    void deliverResponses(Lane &L);
+    void checkCleanliness(Lane &L);
+
+    StallReason classifyStall(const Lane &L, NodeId id) const;
+    void markDirty(Lane &L, NodeId id);
+    void attributeDirty(Lane &L);
+    void closeSpan(Lane &L, NodeId id, StallReason reason, Cycle upTo);
+    void flushAttribution(Lane &L);
+
+    /** Run one full fabric cycle of `L` (the scalar loop body);
+     *  finalizes the lane on quiescence. */
+    void stepCycle(Lane &L);
+    /** The scalar run() tail: verdict, sinks, stats export. */
+    void finalizeLane(Lane &L);
+
+    const Graph &graph_;
+    const Placement &placement_;
+    const Topology &topo_;
+
+    /** Shared read-only dispatch tables (see sim/dispatch.h). */
+    DispatchTables disp_;
+
+    /** Shared lane-major arenas; lane L's ring r is laneBase(L) + r. */
+    TokenArena<Token> tokens_;
+    TokenArena<PendingResponse> pending_;
+
+    /** Front-token mirror per (lane, ring); empty rings hold the
+     *  kNever sentinel. Indexed like tokens_ rings. */
+    std::vector<Token> frontTok_;
+    /** Front pending-response mirror per (lane, mem ring). */
+    std::vector<PendingResponse> pendFront_;
+
+    std::vector<std::unique_ptr<Lane>> lanes_;
+};
+
+} // namespace nupea
+
+#endif // NUPEA_SIM_MACHINE_LANES_H

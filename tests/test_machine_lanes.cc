@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Batched-lane differential suite: a LaneMachine lane must be
+ * byte-identical to a scalar Machine run of the same configuration.
+ *
+ * The lane engine shares dispatch tables across lanes and replaces
+ * the scalar ring walks with mirror caches (front tokens, full-ring
+ * credit counts), so everything observable has to be pinned, not just
+ * headline counters: verdicts, cycle counts, sink streams, the full
+ * stat set, bitwise energy doubles (accumulation *order* is part of
+ * the contract), per-node stall attribution, per-node memory-latency
+ * distributions, and the final memory image. Coverage:
+ *
+ *  1. All 13 registered workloads under the perf-smoke 11-config
+ *     basket (Monaco + UPEA/NUMA-UPEA latency ladder), batched in one
+ *     LaneMachine vs scalar runs, lane for lane.
+ *  2. Mixed-attribution batches: attribution is per-lane, so lanes
+ *     with it on must match attributed scalar runs while lanes with
+ *     it off match plain runs — in the same batch. Attributed lanes
+ *     must also conserve the fabric-cycle timeline per node.
+ *  3. 50 seeded generator shapes through PnR and a randomized
+ *     batchable config basket (models, dividers, seeds, attribution),
+ *     same lane-for-lane equality plus conservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "sim/machine_lanes.h"
+#include "workloads/gen/gen_workload.h"
+
+namespace nupea
+{
+namespace
+{
+
+using bench::CompileOptions;
+using bench::CompiledWorkload;
+using bench::compileWorkload;
+using bench::primaryConfig;
+
+/** The perf-smoke memory-model basket (bench_perf_smoke.cc). */
+std::vector<MachineConfig>
+basketConfigs()
+{
+    std::vector<MachineConfig> configs;
+    configs.push_back(primaryConfig(MemModel::Monaco, 0));
+    for (int lat : {1, 2, 3, 4, 6})
+        configs.push_back(primaryConfig(MemModel::Upea, lat));
+    for (int lat : {1, 2, 3, 4, 6})
+        configs.push_back(primaryConfig(MemModel::NumaUpea, lat));
+    return configs;
+}
+
+void
+expectDistEqual(const Distribution &a, const Distribution &b,
+                const std::string &who)
+{
+    EXPECT_EQ(a.count(), b.count()) << who;
+    EXPECT_EQ(a.sum(), b.sum()) << who;
+    EXPECT_EQ(a.min(), b.min()) << who;
+    EXPECT_EQ(a.max(), b.max()) << who;
+}
+
+/** Full observable equality between a scalar and a lane RunResult.
+ *  Doubles compare bitwise (EXPECT_EQ): same values accumulated in a
+ *  different order would fail, by design. */
+void
+expectResultsEqual(const RunResult &s, const RunResult &l,
+                   const std::string &who)
+{
+    EXPECT_EQ(s.finished, l.finished) << who;
+    EXPECT_EQ(s.clean, l.clean) << who;
+    EXPECT_EQ(s.problem, l.problem) << who;
+    EXPECT_EQ(s.fabricCycles, l.fabricCycles) << who;
+    EXPECT_EQ(s.systemCycles, l.systemCycles) << who;
+    EXPECT_EQ(s.firings, l.firings) << who;
+    EXPECT_EQ(s.loads, l.loads) << who;
+    EXPECT_EQ(s.stores, l.stores) << who;
+
+    ASSERT_EQ(s.sinks.size(), l.sinks.size()) << who;
+    for (const auto &[node, rec] : s.sinks) {
+        auto it = l.sinks.find(node);
+        ASSERT_NE(it, l.sinks.end()) << who << " sink " << node;
+        EXPECT_EQ(rec.count, it->second.count) << who << " sink " << node;
+        EXPECT_EQ(rec.last, it->second.last) << who << " sink " << node;
+        EXPECT_EQ(rec.sum, it->second.sum) << who << " sink " << node;
+    }
+
+    EXPECT_EQ(s.energy.compute, l.energy.compute) << who;
+    EXPECT_EQ(s.energy.network, l.energy.network) << who;
+    EXPECT_EQ(s.energy.memory, l.energy.memory) << who;
+
+    EXPECT_EQ(s.stats.counters(), l.stats.counters()) << who;
+    ASSERT_EQ(s.stats.dists().size(), l.stats.dists().size()) << who;
+    for (const auto &[name, dist] : s.stats.dists()) {
+        auto it = l.stats.dists().find(name);
+        ASSERT_NE(it, l.stats.dists().end()) << who << " dist " << name;
+        expectDistEqual(dist, it->second, who + " dist " + name);
+    }
+
+    ASSERT_EQ(s.nodeStalls.size(), l.nodeStalls.size()) << who;
+    for (std::size_t id = 0; id < s.nodeStalls.size(); ++id) {
+        EXPECT_EQ(s.nodeStalls[id].cycles, l.nodeStalls[id].cycles)
+            << who << " node " << id;
+    }
+    ASSERT_EQ(s.nodeMemLatency.size(), l.nodeMemLatency.size()) << who;
+    for (std::size_t id = 0; id < s.nodeMemLatency.size(); ++id) {
+        expectDistEqual(s.nodeMemLatency[id], l.nodeMemLatency[id],
+                        formatMessage(who, " mem-latency node ", id));
+    }
+}
+
+/** Run `configs` scalar (one Machine each) and batched (one
+ *  LaneMachine), compare lane for lane, including final memory. */
+void
+runDifferential(const Graph &graph, const Placement &placement,
+                const Topology &topo, const BackingStore &image,
+                const std::vector<MachineConfig> &configs,
+                const std::string &who)
+{
+    std::vector<std::unique_ptr<BackingStore>> laneStores;
+    std::vector<BackingStore *> stores;
+    std::vector<LaneSpec> specs;
+    for (const MachineConfig &cfg : configs) {
+        auto store =
+            std::make_unique<BackingStore>(cfg.memsys.memBytes);
+        store->resetTo(image);
+        stores.push_back(store.get());
+        specs.push_back(LaneSpec{cfg, store.get()});
+        laneStores.push_back(std::move(store));
+    }
+    LaneMachine lanes(graph, placement, topo, specs);
+    std::vector<RunResult> batched = lanes.run();
+    ASSERT_EQ(batched.size(), configs.size()) << who;
+
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const std::string lane_who = formatMessage(who, " lane ", i);
+        BackingStore scalarStore(configs[i].memsys.memBytes);
+        scalarStore.resetTo(image);
+        Machine scalar(graph, placement, topo, configs[i], scalarStore);
+        RunResult s = scalar.run();
+        expectResultsEqual(s, batched[i], lane_who);
+        EXPECT_EQ(scalarStore.raw(), stores[i]->raw()) << lane_who;
+
+        // Attributed lanes must conserve the fabric-cycle timeline.
+        if (configs[i].stallAttribution) {
+            const auto fabric =
+                static_cast<std::uint64_t>(batched[i].fabricCycles);
+            for (std::size_t id = 0; id < batched[i].nodeStalls.size();
+                 ++id) {
+                EXPECT_EQ(batched[i].nodeStalls[id].total(), fabric)
+                    << lane_who << " node " << id;
+            }
+        }
+    }
+}
+
+/** Compile every registered workload once (perf-regress geometry). */
+const std::vector<CompiledWorkload> &
+compiledWorkloads()
+{
+    static const std::vector<CompiledWorkload> compiled = [] {
+        Topology topo = Topology::makeMonaco(12, 12);
+        std::vector<CompiledWorkload> out;
+        for (const std::string &name : workloadNames()) {
+            CompileOptions copts;
+            copts.mode = PlaceMode::CriticalityAware;
+            copts.saIterationsPerNode = 40;
+            out.push_back(compileWorkload(name, topo, copts));
+        }
+        return out;
+    }();
+    return compiled;
+}
+
+class LaneWorkloads : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(LaneWorkloads, ElevenConfigBasketMatchesScalarLaneForLane)
+{
+    const CompiledWorkload &cw = compiledWorkloads()[GetParam()];
+    runDifferential(cw.graph, cw.pnr.placement, cw.topo, cw.image,
+                    basketConfigs(),
+                    formatMessage("[", cw.workload->name(), "]"));
+}
+
+TEST_P(LaneWorkloads, MixedAttributionBatchMatchesScalar)
+{
+    const CompiledWorkload &cw = compiledWorkloads()[GetParam()];
+    // Attribution per lane inside one batch: off, on, on, off — the
+    // attributed lanes exercise dirty-marking on exactly the state
+    // transitions the unattributed lanes skip.
+    std::vector<MachineConfig> configs{
+        primaryConfig(MemModel::Monaco, 0),
+        primaryConfig(MemModel::Monaco, 0),
+        primaryConfig(MemModel::NumaUpea, 2),
+        primaryConfig(MemModel::NumaUpea, 2),
+    };
+    configs[1].stallAttribution = true;
+    configs[2].stallAttribution = true;
+    runDifferential(cw.graph, cw.pnr.placement, cw.topo, cw.image,
+                    configs,
+                    formatMessage("[", cw.workload->name(),
+                                  " mixed-attr]"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, LaneWorkloads,
+    ::testing::Range<std::size_t>(0, workloadNames().size()),
+    [](const ::testing::TestParamInfo<std::size_t> &info) {
+        return workloadNames()[info.param];
+    });
+
+/** Seeded generator shapes under randomized batchable baskets. */
+class LaneGenFuzz : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(LaneGenFuzz, RandomShapeBatchMatchesScalar)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    GeneratorSpec spec = GeneratorSpec::random(rng);
+    const std::string who = formatMessage(
+        "[lane-fuzz seed=", seed, " spec=", spec.name(), "]");
+
+    auto wl = makeGeneratedWorkload(spec, /*seed=*/42);
+    const std::size_t mem_bytes = MemSysConfig{}.memBytes;
+    BackingStore image(mem_bytes);
+    wl->init(image);
+    Graph graph = wl->build(1);
+    ASSERT_TRUE(graph.validate().empty()) << who;
+
+    Topology topo = Topology::makeMonaco(12, 12);
+    PnrOptions popts;
+    popts.place.iterationsPerNode = 40;
+    popts.place.seed = seed;
+    PnrResult pnr = placeAndRoute(graph, topo, popts);
+    ASSERT_TRUE(pnr.success) << who << ": " << pnr.failureReason;
+
+    // Batchable knobs (arena geometry) are drawn once per seed; the
+    // per-lane knobs (model, latency, divider, seed, attribution)
+    // vary across three lanes.
+    Rng cfg_rng(seed * 977 + 5);
+    MachineConfig base;
+    base.fifoDepth = 1 << cfg_rng.below(3); // 1, 2, 4
+    base.maxOutstanding = 1 + static_cast<int>(cfg_rng.below(4));
+    base.memsys.memBytes = mem_bytes;
+    std::vector<MachineConfig> configs;
+    for (int lane = 0; lane < 3; ++lane) {
+        MachineConfig cfg = base;
+        cfg.clockDivider = 1 + static_cast<int>(cfg_rng.below(3));
+        switch (cfg_rng.below(3)) {
+          case 0:
+            cfg.mem.model = MemModel::Monaco;
+            break;
+          case 1:
+            cfg.mem.model = MemModel::Upea;
+            cfg.mem.upeaLatency = static_cast<int>(cfg_rng.below(5));
+            break;
+          default:
+            cfg.mem.model = MemModel::NumaUpea;
+            cfg.mem.upeaLatency =
+                1 + static_cast<int>(cfg_rng.below(4));
+            break;
+        }
+        cfg.mem.seed = 1 + cfg_rng.below(100);
+        cfg.stallAttribution = cfg_rng.below(2) == 1;
+        configs.push_back(cfg);
+    }
+    runDifferential(graph, pnr.placement, topo, image, configs, who);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LaneGenFuzz,
+                         ::testing::Range<std::uint64_t>(1, 51));
+
+TEST(LaneBatchable, ArenaGeometryAndEnergyGateBatching)
+{
+    MachineConfig a, b;
+    EXPECT_TRUE(LaneMachine::batchable(a, b));
+    // Per-lane knobs never block batching.
+    b.mem.model = MemModel::NumaUpea;
+    b.clockDivider = 4;
+    b.stallAttribution = true;
+    b.maxFabricCycles = 12345;
+    EXPECT_TRUE(LaneMachine::batchable(a, b));
+    // Arena geometry and baked-in energy do.
+    b = a;
+    b.fifoDepth = 4;
+    EXPECT_FALSE(LaneMachine::batchable(a, b));
+    b = a;
+    b.maxOutstanding = 8;
+    EXPECT_FALSE(LaneMachine::batchable(a, b));
+    b = a;
+    b.energy.noCHopPerToken *= 2.0;
+    EXPECT_FALSE(LaneMachine::batchable(a, b));
+}
+
+} // namespace
+} // namespace nupea

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
@@ -252,6 +253,117 @@ TEST(SweepRunnerTest, SweepExceptionRemovesPartialTraceFiles)
     EXPECT_EQ(text.rfind("{\"displayTimeUnit\"", 0), 0u);
     EXPECT_NE(text.rfind("]}"), std::string::npos);
     std::filesystem::remove_all(dir);
+}
+
+TEST(SweepRunnerTest, SameLabelPointsKeepDistinctTraceFiles)
+{
+    // Two points whose labels sanitize to the same stem must not
+    // silently overwrite each other's Chrome trace; the collision
+    // gets the point index appended while the first keeps the plain
+    // label-derived filename.
+    std::string dir = ::testing::TempDir() + "sweep_trace_dup";
+    std::filesystem::remove_all(dir);
+
+    CompiledWorkload cw = compileWorkload(
+        "dmv", Topology::makeMonaco(12, 12), CompileOptions{});
+
+    SweepOptions opts{1};
+    opts.traceDir = dir;
+    SweepRunner runner(opts);
+
+    std::vector<RunSpec> specs;
+    specs.push_back({&cw, primaryConfig(MemModel::Monaco, 0), "dup"});
+    specs.push_back({&cw, primaryConfig(MemModel::Upea, 2), "du/p"});
+    specs.push_back({&cw, primaryConfig(MemModel::Upea, 4), "dup"});
+
+    SweepResult sweep = runSweep(runner, specs);
+    EXPECT_EQ(sweep.points.size(), 3u);
+    std::vector<std::filesystem::path> files = traceFilesIn(dir);
+    ASSERT_EQ(files.size(), 3u);
+    std::vector<std::string> names;
+    for (const std::filesystem::path &p : files)
+        names.push_back(p.filename().string());
+    std::sort(names.begin(), names.end());
+    EXPECT_EQ(names[0], "du_p.trace.json");
+    EXPECT_EQ(names[1], "dup.p2.trace.json");
+    EXPECT_EQ(names[2], "dup.trace.json");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SweepRunnerTest, LanesResolution)
+{
+    const char *argv1[] = {"bench", "--lanes", "4"};
+    EXPECT_EQ(parseSweepArgs(3, const_cast<char **>(argv1)).lanes, 4);
+    const char *argv2[] = {"bench", "--lanes=6"};
+    EXPECT_EQ(parseSweepArgs(2, const_cast<char **>(argv2)).lanes, 6);
+    const char *argv3[] = {"bench"};
+    EXPECT_EQ(parseSweepArgs(1, const_cast<char **>(argv3)).lanes, 1);
+    const char *argv4[] = {"bench", "--lanes", "0"};
+    EXPECT_THROW(parseSweepArgs(3, const_cast<char **>(argv4)),
+                 FatalError);
+    const char *argv5[] = {"bench", "--lanes=x"};
+    EXPECT_THROW(parseSweepArgs(2, const_cast<char **>(argv5)),
+                 FatalError);
+}
+
+TEST(SweepRunnerTest, LaneBatchedSweepMatchesScalar)
+{
+    // End-to-end --lanes equality: a sweep mixing two compiled
+    // workloads, three batchable configs, and one batch-splitting
+    // config (deeper FIFOs change the arena geometry) must produce
+    // the same points in the same order as the scalar path. The
+    // exhaustive per-stat differential lives in test_machine_lanes;
+    // this pins the runSweep grouping and fallback logic.
+    CompileOptions copts;
+    copts.saIterationsPerNode = 20;
+    Topology topo = Topology::makeMonaco(12, 12);
+    CompiledWorkload dmv = compileWorkload("dmv", topo, copts);
+    CompiledWorkload ms = compileWorkload("mergesort", topo, copts);
+
+    auto makeSpecs = [&]() {
+        std::vector<RunSpec> specs;
+        specs.push_back(
+            {&dmv, primaryConfig(MemModel::Monaco, 0), "dmv/monaco"});
+        specs.push_back(
+            {&dmv, primaryConfig(MemModel::Upea, 2), "dmv/upea2"});
+        specs.push_back(
+            {&dmv, primaryConfig(MemModel::NumaUpea, 2), "dmv/numa2"});
+        RunSpec deep{&dmv, primaryConfig(MemModel::Monaco, 0),
+                     "dmv/deep-fifo"};
+        deep.config.fifoDepth = 4;
+        specs.push_back(deep);
+        specs.push_back(
+            {&ms, primaryConfig(MemModel::Monaco, 0), "ms/monaco"});
+        specs.push_back(
+            {&ms, primaryConfig(MemModel::Upea, 2), "ms/upea2"});
+        return specs;
+    };
+
+    SweepRunner scalar(SweepOptions{1});
+    SweepResult a = runSweep(scalar, makeSpecs());
+
+    SweepOptions lane_opts{1};
+    lane_opts.lanes = 8;
+    SweepRunner lanes(lane_opts);
+    SweepResult b = runSweep(lanes, makeSpecs());
+
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (std::size_t i = 0; i < a.points.size(); ++i) {
+        EXPECT_EQ(a.points[i].label, b.points[i].label) << i;
+        const BenchRun &ra = a.points[i].run;
+        const BenchRun &rb = b.points[i].run;
+        EXPECT_TRUE(ra.verified) << a.points[i].label;
+        EXPECT_TRUE(rb.verified) << b.points[i].label;
+        EXPECT_EQ(ra.fabricCycles, rb.fabricCycles) << i;
+        EXPECT_EQ(ra.systemCycles, rb.systemCycles) << i;
+        EXPECT_EQ(ra.firings, rb.firings) << i;
+        EXPECT_EQ(ra.loads, rb.loads) << i;
+        EXPECT_EQ(ra.stores, rb.stores) << i;
+        EXPECT_EQ(ra.energy.compute, rb.energy.compute) << i;
+        EXPECT_EQ(ra.energy.network, rb.energy.network) << i;
+        EXPECT_EQ(ra.energy.memory, rb.energy.memory) << i;
+        EXPECT_EQ(ra.stats.counters(), rb.stats.counters()) << i;
+    }
 }
 
 TEST(SweepRunnerTest, UnknownArgumentsAreFatal)
