@@ -16,6 +16,11 @@
  * timed and checked bit-identical, and its serial/lanes wall ratio is
  * written as "lanes_speedup".
  *
+ * The static analyzer (one interpreter profile per workload, then
+ * predictPerformance per point — exactly the scoring work --prune
+ * does) is also timed over the 66-point basket, min-of-3, and written
+ * as "analyzer_points_per_sec" so analyzer slowdowns are visible.
+ *
  * With --guard, the measured total firings_per_sec is compared
  * against the committed BASELINE json; more than 25% slower fails
  * (exit 1). Three further gates run:
@@ -30,7 +35,11 @@
  *    measure time-slicing, not the harness);
  *  - on hosts with >= 4 cores the measured harness_speedup at jobs
  *    >= 4 must reach 1.5 (the parallel-sweep regression gate); hosts
- *    with fewer cores print a note and skip that gate.
+ *    with fewer cores print a note and skip that gate;
+ *  - analyzer_points_per_sec must stay within 1.5x of the baseline's
+ *    (min-of-3 walls on both sides damp preemption noise). Baselines
+ *    recorded before the analyzer existed lack the key; the gate
+ *    prints a note and skips rather than failing.
  * NUPEA_PERF_GUARD_SKIP=1 skips every comparison (exit 77, the ctest
  * SKIP_RETURN_CODE) for machines where wall-clock is not comparable
  * to the recorded baseline.
@@ -46,6 +55,8 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/perf_model.h"
+#include "analysis/profile.h"
 #include "bench/sweep_runner.h"
 
 namespace
@@ -92,27 +103,36 @@ sameStats(const BenchRun &a, const BenchRun &b)
            a.verified == b.verified;
 }
 
-/**
- * Pull `"firings_per_sec": <number>` out of a baseline json's
- * "total" object (it is the file's last occurrence of the key).
- */
+/** Slurp a baseline json into memory. */
 bool
-readBaselineFiringsPerSec(const std::string &path, double &value)
+readBaselineText(const std::string &path, std::string &text)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return false;
-    std::string text;
     char buf[4096];
     std::size_t got;
     while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
         text.append(buf, got);
     std::fclose(f);
-    const char key[] = "\"firings_per_sec\":";
-    std::size_t pos = text.rfind(key);
+    return true;
+}
+
+/**
+ * Pull `"<key>": <number>` out of a baseline json by its LAST
+ * occurrence — for "firings_per_sec" that is the "total" object's
+ * copy, not a per-workload one. Keys the baseline predates (e.g.
+ * "analyzer_points_per_sec") simply return false.
+ */
+bool
+readBaselineValue(const std::string &text, const char *key,
+                  double &value)
+{
+    std::string needle = std::string("\"") + key + "\":";
+    std::size_t pos = text.rfind(needle);
     if (pos == std::string::npos)
         return false;
-    value = std::strtod(text.c_str() + pos + sizeof key - 1, nullptr);
+    value = std::strtod(text.c_str() + pos + needle.size(), nullptr);
     return value > 0.0;
 }
 
@@ -183,6 +203,43 @@ main(int argc, char **argv)
                  cw.workload->name() + "/" + cfg.name});
         }
     }
+
+    // Static-analyzer throughput: one interpreter profile per
+    // workload plus predictPerformance for every point — exactly the
+    // scoring work a --prune sweep does before simulating. Min-of-3
+    // walls, same noise-damping policy as the lanes parity gate. The
+    // checksum keeps the optimizer from eliding the passes.
+    double analyzer_seconds = 0.0;
+    double analyzer_checksum = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        auto analyzer_start = std::chrono::steady_clock::now();
+        double checksum = 0.0;
+        for (const CompiledWorkload &cw : compiled) {
+            ExecutionProfile profile = profileGraph(
+                cw.graph, cw.image, MemSysConfig{}.memBytes);
+            for (const NamedConfig &cfg : kConfigs) {
+                MachineConfig c =
+                    primaryConfig(cfg.model, cfg.upeaLatency);
+                PerfModelConfig pc{c.mem, c.memsys, c.energy,
+                                   c.clockDivider, c.maxOutstanding,
+                                   c.fifoDepth};
+                PerfPrediction pred = predictPerformance(
+                    cw.graph, cw.pnr.placement, cw.topo, profile, pc);
+                checksum += pred.systemCycles;
+            }
+        }
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() -
+                          analyzer_start)
+                          .count();
+        analyzer_seconds =
+            rep == 0 ? wall : std::min(analyzer_seconds, wall);
+        analyzer_checksum = checksum;
+    }
+    const double analyzer_points_per_sec =
+        analyzer_seconds > 0.0
+            ? static_cast<double>(rspecs.size()) / analyzer_seconds
+            : 0.0;
 
     SweepRunner serial_runner(SweepOptions{1});
 
@@ -376,6 +433,16 @@ main(int argc, char **argv)
             i + 1 < serial.points.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    // Keys unique to this object sit BEFORE "total": the guard's
+    // baseline parser takes the LAST occurrence of shared keys like
+    // firings_per_sec, which must stay the total object's.
+    std::fprintf(
+        f,
+        "  \"analyzer\": {\"points\": %zu, \"wall_seconds\": %.6f, "
+        "\"analyzer_points_per_sec\": %.1f, "
+        "\"predicted_system_cycles_sum\": %.1f},\n",
+        rspecs.size(), analyzer_seconds, analyzer_points_per_sec,
+        analyzer_checksum);
     std::fprintf(
         f,
         "  \"total\": {\"serial_wall_seconds\": %.6f, "
@@ -398,14 +465,24 @@ main(int argc, char **argv)
                 "%.3fs, stats identical: %s\n",
                 lane_opts.lanes, laned.wallSeconds, lanes_speedup,
                 attr_serial.wallSeconds, identical ? "yes" : "NO");
+    std::printf("analyzer: %zu points in %.4fs (%.0f points/s)\n",
+                rspecs.size(), analyzer_seconds,
+                analyzer_points_per_sec);
     std::printf("wrote %s\n", out_path.c_str());
     if (!identical)
         return 1;
 
     if (!guard_path.empty()) {
-        double baseline = 0.0;
-        if (!readBaselineFiringsPerSec(guard_path, baseline)) {
+        std::string baseline_text;
+        if (!readBaselineText(guard_path, baseline_text)) {
             warn("perf guard: cannot read baseline ", guard_path);
+            return 1;
+        }
+        double baseline = 0.0;
+        if (!readBaselineValue(baseline_text, "firings_per_sec",
+                               baseline)) {
+            warn("perf guard: baseline ", guard_path,
+                 " has no firings_per_sec");
             return 1;
         }
         double ratio = baseline / total_firings_per_sec;
@@ -416,6 +493,37 @@ main(int argc, char **argv)
             warn("perf guard: sweep is ", ratio,
                  "x slower than the committed baseline (limit 1.25x)");
             return 1;
+        }
+
+        // Analyzer-throughput gate: the static scorer must stay fast
+        // enough that pruning a sweep is always cheaper than
+        // simulating it. Both sides are min-of-3 walls, so 1.5x slack
+        // covers host noise without hiding a real slowdown. A
+        // baseline recorded before the analyzer existed lacks the
+        // key; skip rather than fail so re-pinning stays optional.
+        double analyzer_baseline = 0.0;
+        if (readBaselineValue(baseline_text, "analyzer_points_per_sec",
+                              analyzer_baseline)) {
+            double aratio =
+                analyzer_points_per_sec > 0.0
+                    ? analyzer_baseline / analyzer_points_per_sec
+                    : 1e9;
+            std::printf("perf guard: analyzer baseline %.1f points/s, "
+                        "measured %.1f (%.2fx of baseline cost)\n",
+                        analyzer_baseline, analyzer_points_per_sec,
+                        aratio);
+            if (aratio > 1.5) {
+                warn("perf guard: static analyzer is ", aratio,
+                     "x slower than the committed baseline (limit "
+                     "1.5x; set NUPEA_PERF_GUARD_SKIP=1 on "
+                     "incomparable machines)");
+                return 1;
+            }
+        } else {
+            std::printf("perf guard: baseline has no "
+                        "analyzer_points_per_sec; skipping the "
+                        "analyzer gate (re-pin BENCH_perf.json to "
+                        "arm it)\n");
         }
 
         // Lane-batching gate: running each workload's config basket

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "analysis/hazards.h"
 #include "common/log.h"
 #include "compiler/report.h"
 #include "sim/machine_lanes.h"
@@ -37,6 +38,34 @@ verifyOrDie(const CompiledWorkload &cw)
               report.errorCount(), " errors; pass --no-verify to run "
               "anyway):\n", report.renderText());
     }
+}
+
+/** Run the static model and warn() any placement hazards it finds
+ *  (CompileOptions::perfHazards). Uses the default machine config's
+ *  memory/energy parameters; purely analytical. */
+void
+reportPerfHazards(const CompiledWorkload &cw)
+{
+    ExecutionProfile profile =
+        profileGraph(cw.graph, cw.image, MemSysConfig{}.memBytes);
+    if (!profile.clean) {
+        warn(cw.workload->name(),
+             ": perf-hazard profile did not quiesce; skipping");
+        return;
+    }
+    MachineConfig c;
+    PerfModelConfig pc{c.mem, c.memsys, c.energy, c.clockDivider,
+                       c.maxOutstanding, c.fifoDepth};
+    PerfPrediction pred = predictPerformance(
+        cw.graph, cw.pnr.placement, cw.topo, profile, pc);
+    DiagnosticReport hazards = analyzePlacementHazards(
+        cw.graph, cw.pnr.placement, cw.topo, profile, pred);
+    for (const Diagnostic &d : hazards.diags())
+        warn(cw.workload->name(), ": ", diagIdName(d.id),
+             d.node != kInvalidId
+                 ? formatMessage(" node ", d.node, ": ")
+                 : std::string(": "),
+             d.message);
 }
 
 /** Check the image fits `store` and reset it to a fresh clone. */
@@ -121,6 +150,8 @@ compileWorkload(const std::string &name, const Topology &topo,
                 cw.parallelism = p;
                 if (options.verify)
                     verifyOrDie(cw);
+                if (options.perfHazards)
+                    reportPerfHazards(cw);
                 return cw;
             }
         }
@@ -136,6 +167,8 @@ compileWorkload(const std::string &name, const Topology &topo,
     cw.parallelism = auto_par.parallelism;
     if (options.verify)
         verifyOrDie(cw);
+    if (options.perfHazards)
+        reportPerfHazards(cw);
     return cw;
 }
 

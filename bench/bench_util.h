@@ -60,6 +60,13 @@ struct CompileOptions
      * harness clears it.
      */
     bool verify = true;
+    /**
+     * After compiling, run the static performance model and report
+     * placement hazards (analysis/hazards.h: perf.recurrence-bound,
+     * perf.bank-hotspot, perf.underutilized-column) as warn()
+     * messages. Purely analytical — no simulation. Off by default.
+     */
+    bool perfHazards = false;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -11,6 +12,9 @@
 #include <system_error>
 #include <unordered_set>
 
+#include "analysis/hazards.h"
+#include "analysis/perf_model.h"
+#include "analysis/profile.h"
 #include "common/log.h"
 #include "sim/machine_lanes.h"
 #include "sim/trace.h"
@@ -52,6 +56,27 @@ parseJobsValue(const std::string &text)
     return parseCountValue("--jobs", text);
 }
 
+double
+parsePruneValue(const std::string &text)
+{
+    double value = 0.0;
+    try {
+        std::size_t used = 0;
+        value = std::stod(text, &used);
+        if (used != text.size())
+            fatal("--prune expects a fraction, got '", text, "'");
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("--prune expects a fraction, got '", text, "'");
+    }
+    if (!(value > 0.0) || value > 1.0)
+        fatal("--prune must be in (0, 1], got ", text,
+              " (1 simulates everything; smaller fractions trade "
+              "accuracy for speed)");
+    return value;
+}
+
 void
 printUsage(std::FILE *to, const char *prog,
            const std::vector<std::string> &extraValueOpts,
@@ -63,6 +88,12 @@ printUsage(std::FILE *to, const char *prog,
                  "NUPEA_BENCH_JOBS, else core count)\n"
                  "  --lanes N               batch up to N compatible "
                  "points per lockstep machine (default 1)\n"
+                 "  --prune FRAC            statically score every point "
+                 "and cycle-simulate only the best FRAC in (0, 1];\n"
+                 "                          skipped points report static-"
+                 "model predictions, not measurements (approximate\n"
+                 "                          near throughput cliffs -- see "
+                 "EXPERIMENTS.md before trusting pruned sweeps)\n"
                  "  --stall-report          per-point stall-attribution "
                  "tables after the sweep\n"
                  "  --trace-out DIR         one Chrome trace_event JSON "
@@ -144,6 +175,12 @@ parseSweepArgs(int argc, char **argv,
             opts.lanes = parseCountValue("--lanes", argv[++i]);
         } else if (arg.rfind("--lanes=", 0) == 0) {
             opts.lanes = parseCountValue("--lanes", arg.substr(8));
+        } else if (arg == "--prune") {
+            if (i + 1 >= argc)
+                fatal(arg, " expects a fraction in (0, 1]");
+            opts.prune = parsePruneValue(argv[++i]);
+        } else if (arg.rfind("--prune=", 0) == 0) {
+            opts.prune = parsePruneValue(arg.substr(8));
         } else if (arg == "--stall-report") {
             opts.stallReport = true;
         } else if (arg == "--trace-out") {
@@ -477,6 +514,66 @@ class TraceFiles
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Pick the points --prune keeps: whole non-dominated fronts on
+ * (predicted system cycles, predicted total energy), ties inside a
+ * front broken by predicted cycles then submission order, until the
+ * budget is filled. Returns a simulate/skip flag per point.
+ */
+std::vector<std::uint8_t>
+selectByPrediction(const std::vector<PerfPrediction> &predictions,
+                   std::size_t budget)
+{
+    const std::size_t n = predictions.size();
+    std::vector<std::uint8_t> simulate(n, 0);
+    auto dominates = [&](std::size_t a, std::size_t b) {
+        double ca = predictions[a].systemCycles;
+        double cb = predictions[b].systemCycles;
+        double ea = predictions[a].energy.total();
+        double eb = predictions[b].energy.total();
+        return ca <= cb && ea <= eb && (ca < cb || ea < eb);
+    };
+
+    std::vector<std::size_t> remaining(n);
+    for (std::size_t i = 0; i < n; ++i)
+        remaining[i] = i;
+    std::size_t chosen = 0;
+    while (chosen < budget && !remaining.empty()) {
+        std::vector<std::size_t> front, rest;
+        for (std::size_t a : remaining) {
+            bool dominated = false;
+            for (std::size_t b : remaining) {
+                if (b != a && dominates(b, a)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            (dominated ? rest : front).push_back(a);
+        }
+        std::sort(front.begin(), front.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      double ca = predictions[a].systemCycles;
+                      double cb = predictions[b].systemCycles;
+                      if (ca != cb)
+                          return ca < cb;
+                      return a < b;
+                  });
+        for (std::size_t idx : front) {
+            if (chosen >= budget)
+                break;
+            simulate[idx] = 1;
+            ++chosen;
+        }
+        remaining = std::move(rest);
+    }
+    return simulate;
+}
+
+} // namespace
+
 SweepResult
 runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
 {
@@ -495,6 +592,8 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
     // Resolve the effective per-point configs up front: observability
     // knobs apply here, and the lane grouping below compares the
     // resolved configs (trace/attribution never gate batchability).
+    // Trace files are opened later, once pruning has decided which
+    // points actually simulate.
     std::vector<MachineConfig> configs(specs.size());
     for (std::size_t i = 0; i < specs.size(); ++i) {
         NUPEA_ASSERT(specs[i].cw != nullptr,
@@ -502,36 +601,146 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
         configs[i] = specs[i].config;
         if (opts.observing())
             configs[i].stallAttribution = true;
-        if (!opts.traceDir.empty())
-            configs[i].trace =
-                traces.open(i, opts.traceDir, specs[i].label);
     }
 
-    // Group consecutive points sharing one compiled image into lane
+    // --prune: score every point statically and keep only the best
+    // fraction (whole Pareto fronts on predicted cycles/energy).
+    std::vector<std::uint8_t> simulate(specs.size(), 1);
+    std::vector<PerfPrediction> predictions;
+    std::vector<ExecutionProfile> profiles; ///< one per distinct cw
+    std::vector<std::size_t> cw_of(specs.size(), 0);
+    if (opts.prune < 1.0 && !specs.empty()) {
+        // Distinct compiled workloads, first-appearance order; each
+        // profiles once (the profile is config-independent) with a
+        // scratch store big enough for any of its points.
+        std::vector<const CompiledWorkload *> cws;
+        std::vector<std::size_t> store_bytes;
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            std::size_t k = 0;
+            while (k < cws.size() && cws[k] != specs[i].cw)
+                ++k;
+            if (k == cws.size()) {
+                cws.push_back(specs[i].cw);
+                store_bytes.push_back(0);
+            }
+            cw_of[i] = k;
+            store_bytes[k] = std::max(store_bytes[k],
+                                      configs[i].memsys.memBytes);
+        }
+
+        std::vector<std::function<ExecutionProfile()>> profile_tasks;
+        profile_tasks.reserve(cws.size());
+        for (std::size_t k = 0; k < cws.size(); ++k) {
+            const CompiledWorkload *cw = cws[k];
+            std::size_t bytes = store_bytes[k];
+            profile_tasks.push_back([cw, bytes]() {
+                return profileGraph(cw->graph, cw->image, bytes);
+            });
+        }
+        profiles = runner.map(std::move(profile_tasks));
+
+        bool clean = true;
+        for (std::size_t k = 0; k < profiles.size(); ++k) {
+            if (!profiles[k].clean) {
+                warn(cws[k]->workload->name(),
+                     ": profile did not quiesce; --prune disabled "
+                     "for this sweep");
+                clean = false;
+            }
+        }
+
+        if (clean) {
+            predictions.resize(specs.size());
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                const MachineConfig &c = configs[i];
+                PerfModelConfig pc{c.mem, c.memsys, c.energy,
+                                   c.clockDivider, c.maxOutstanding,
+                                   c.fifoDepth};
+                predictions[i] = predictPerformance(
+                    specs[i].cw->graph, specs[i].cw->pnr.placement,
+                    specs[i].cw->topo, profiles[cw_of[i]], pc);
+            }
+
+            // Surface placement hazards the model found, once per
+            // distinct workload (the first point's config).
+            std::vector<std::uint8_t> hazard_done(cws.size(), 0);
+            for (std::size_t i = 0; i < specs.size(); ++i) {
+                if (hazard_done[cw_of[i]])
+                    continue;
+                hazard_done[cw_of[i]] = 1;
+                DiagnosticReport hazards = analyzePlacementHazards(
+                    specs[i].cw->graph, specs[i].cw->pnr.placement,
+                    specs[i].cw->topo, profiles[cw_of[i]],
+                    predictions[i]);
+                for (const Diagnostic &d : hazards.diags())
+                    warn(specs[i].cw->workload->name(), ": ",
+                         diagIdName(d.id), ": ", d.message);
+            }
+
+            auto budget = static_cast<std::size_t>(
+                opts.prune * static_cast<double>(specs.size()));
+            budget = std::max<std::size_t>(1, budget);
+            simulate = selectByPrediction(predictions, budget);
+            std::size_t kept = 0;
+            for (std::uint8_t s : simulate)
+                kept += s;
+            std::printf("[prune] statically scored %zu points: "
+                        "simulating %zu, dropped %zu\n",
+                        specs.size(), kept, specs.size() - kept);
+        }
+    }
+
+    // Open trace files for the points that will actually run.
+    std::size_t traced = 0;
+    if (!opts.traceDir.empty()) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (!simulate[i])
+                continue;
+            configs[i].trace =
+                traces.open(i, opts.traceDir, specs[i].label);
+            ++traced;
+        }
+    }
+
+    // Group simulated points sharing one compiled image into lane
     // batches of up to opts.lanes mutually batchable configs; with
-    // lanes <= 1 every batch is a singleton (the scalar path).
+    // lanes <= 1 every batch is a singleton (the scalar path). With
+    // pruning, surviving points that became adjacent batch together
+    // (batchability, not original adjacency, is the correctness
+    // condition).
     struct Batch
     {
-        std::size_t begin = 0;
-        std::size_t count = 0;
+        std::vector<std::size_t> points;
     };
     const std::size_t max_lanes =
         opts.lanes > 1 ? static_cast<std::size_t>(opts.lanes) : 1;
+    std::vector<std::size_t> run_order;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (simulate[i])
+            run_order.push_back(i);
+    }
     std::vector<Batch> batches;
-    for (std::size_t i = 0; i < specs.size();) {
-        std::size_t j = i + 1;
-        while (j < specs.size() && j - i < max_lanes &&
-               specs[j].cw == specs[i].cw &&
-               LaneMachine::batchable(configs[i], configs[j]))
-            ++j;
-        batches.push_back(Batch{i, j - i});
-        i = j;
+    for (std::size_t s = 0; s < run_order.size();) {
+        std::size_t first = run_order[s];
+        Batch batch;
+        batch.points.push_back(first);
+        std::size_t t = s + 1;
+        while (t < run_order.size() &&
+               batch.points.size() < max_lanes &&
+               specs[run_order[t]].cw == specs[first].cw &&
+               LaneMachine::batchable(configs[first],
+                                      configs[run_order[t]])) {
+            batch.points.push_back(run_order[t]);
+            ++t;
+        }
+        batches.push_back(std::move(batch));
+        s = t;
     }
 
     std::vector<std::function<std::vector<PointResult>()>> tasks;
     tasks.reserve(batches.size());
     for (const Batch &batch : batches) {
-        tasks.push_back([&specs, &configs, &arenas, batch]() {
+        tasks.push_back([&specs, &configs, &arenas, &batch]() {
             int worker = SweepRunner::currentWorker();
             NUPEA_ASSERT(worker >= 0 &&
                              static_cast<std::size_t>(worker) <
@@ -539,11 +748,12 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
                          "sweep point outside a pool worker");
             StoreArena &arena =
                 arenas[static_cast<std::size_t>(worker)];
-            const CompiledWorkload &cw = *specs[batch.begin].cw;
+            const std::size_t count = batch.points.size();
+            const CompiledWorkload &cw = *specs[batch.points[0]].cw;
 
-            std::vector<PointResult> points(batch.count);
-            for (std::size_t k = 0; k < batch.count; ++k)
-                points[k].label = specs[batch.begin + k].label;
+            std::vector<PointResult> points(count);
+            for (std::size_t k = 0; k < count; ++k)
+                points[k].label = specs[batch.points[k]].label;
 
             // Acquire (and prefault) stores before starting the
             // clock: a first-touch acquire faults in the whole image
@@ -551,8 +761,8 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
             // points whose simulated run is shorter than the fault
             // storm. Timed span = resetTo + simulation, matching what
             // "serial-equivalent cost" means for a recycled store.
-            if (batch.count == 1) {
-                const MachineConfig &config = configs[batch.begin];
+            if (count == 1) {
+                const MachineConfig &config = configs[batch.points[0]];
                 BackingStore &store =
                     arena.acquire(config.memsys.memBytes,
                                   cw.image.allocated());
@@ -562,15 +772,13 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
                 return points;
             }
 
-            std::vector<MachineConfig> lane_configs(
-                configs.begin() +
-                    static_cast<std::ptrdiff_t>(batch.begin),
-                configs.begin() +
-                    static_cast<std::ptrdiff_t>(batch.begin +
-                                                batch.count));
+            std::vector<MachineConfig> lane_configs;
+            lane_configs.reserve(count);
+            for (std::size_t idx : batch.points)
+                lane_configs.push_back(configs[idx]);
             std::vector<BackingStore *> stores;
-            stores.reserve(batch.count);
-            for (std::size_t k = 0; k < batch.count; ++k)
+            stores.reserve(count);
+            for (std::size_t k = 0; k < count; ++k)
                 stores.push_back(&arena.acquireLane(
                     k, lane_configs[k].memsys.memBytes,
                     cw.image.allocated()));
@@ -578,9 +786,8 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
             std::vector<BenchRun> runs =
                 runCompiledLanes(cw, lane_configs, stores);
             double per_point =
-                secondsSince(start) /
-                static_cast<double>(batch.count);
-            for (std::size_t k = 0; k < batch.count; ++k) {
+                secondsSince(start) / static_cast<double>(count);
+            for (std::size_t k = 0; k < count; ++k) {
                 points[k].run = std::move(runs[k]);
                 points[k].wallSeconds = per_point;
             }
@@ -594,20 +801,47 @@ runSweep(SweepRunner &runner, const std::vector<RunSpec> &specs)
     std::vector<std::vector<PointResult>> grouped =
         runner.map(std::move(tasks));
     sweep.wallSeconds = secondsSince(start);
-    sweep.points.reserve(specs.size());
-    for (std::vector<PointResult> &group : grouped) {
-        for (PointResult &point : group)
-            sweep.points.push_back(std::move(point));
+    sweep.points.resize(specs.size());
+    for (std::size_t g = 0; g < batches.size(); ++g) {
+        for (std::size_t k = 0; k < batches[g].points.size(); ++k)
+            sweep.points[batches[g].points[k]] =
+                std::move(grouped[g][k]);
+    }
+
+    // Fill the pruned slots with the model's predictions so the
+    // sweep's positional layout is unchanged for downstream tables.
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (simulate[i])
+            continue;
+        PointResult &p = sweep.points[i];
+        p.label = specs[i].label;
+        p.pruned = true;
+        const PerfPrediction &pred = predictions[i];
+        const ExecutionProfile &prof = profiles[cw_of[i]];
+        p.run.fabricCycles =
+            static_cast<Cycle>(std::llround(pred.fabricCycles));
+        p.run.systemCycles =
+            static_cast<Cycle>(std::llround(pred.systemCycles));
+        p.run.energy = pred.energy;
+        p.run.avgMemLatency = pred.avgMemLatency;
+        p.run.loads = prof.loads;
+        p.run.stores = prof.stores;
+        p.run.firings = prof.firings;
+        p.run.verified = false;
+        ++sweep.prunedPoints;
     }
 
     traces.finishAll();
     if (!opts.traceDir.empty())
         std::printf("[trace] wrote %zu Chrome trace files to %s\n",
-                    specs.size(), opts.traceDir.c_str());
+                    traced, opts.traceDir.c_str());
     if (opts.stallReport) {
-        for (std::size_t i = 0; i < specs.size(); ++i)
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (sweep.points[i].pruned)
+                continue; // no machine ran; nothing to attribute
             printStallReport(*specs[i].cw, sweep.points[i].label,
                              sweep.points[i].run);
+        }
     }
     return sweep;
 }
@@ -639,6 +873,10 @@ printSweepFooter(const SweepResult &sweep)
                 sweep.points.size(), sweep.jobs,
                 sweep.jobs == 1 ? "" : "s", sweep.wallSeconds, serial,
                 speedup);
+    if (sweep.prunedPoints > 0)
+        std::printf("[sweep] %zu of those points were pruned: their "
+                    "numbers are static-model predictions\n",
+                    sweep.prunedPoints);
 }
 
 } // namespace bench

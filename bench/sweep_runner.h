@@ -86,6 +86,13 @@ struct SweepOptions
      *  LaneMachine per task; 1 runs every point on its own scalar
      *  Machine. Simulated results are bit-identical either way. */
     int lanes = 1;
+    /** Statically score every point with the performance model
+     *  (analysis/perf_model.h) and cycle-simulate only the best
+     *  `prune` fraction, Pareto-selected on (predicted cycles,
+     *  predicted energy); skipped points carry the model's
+     *  predictions instead of measurements (PointResult::pruned).
+     *  1.0 (the default) simulates everything. */
+    double prune = 1.0;
 
     /** Any observability feature requested? */
     bool
@@ -100,7 +107,8 @@ int defaultJobs();
 
 /**
  * Parse --jobs N / --jobs=N / -j N / -jN, --lanes N / --lanes=N,
- * --stall-report, --trace-out DIR / --trace-out=DIR, and
+ * --prune FRAC / --prune=FRAC (a fraction in (0, 1]; <= 0 or > 1 is
+ * fatal), --stall-report, --trace-out DIR / --trace-out=DIR, and
  * --verify / --no-verify.
  * --help / -h prints the usage message and exits 0. Any other
  * `-`/`--` argument is fatal() with the usage message — a typo like
@@ -239,6 +247,11 @@ struct PointResult
      *  the batch wall divided evenly over its lanes. */
     double wallSeconds = 0.0;
     std::string label;
+    /** The point was dropped by --prune: `run` holds the static
+     *  model's predictions (cycles, energy, avg latency, functional
+     *  load/store/firing counts), not measurements, and verified is
+     *  false. */
+    bool pruned = false;
 };
 
 /** A drained sweep plus harness-throughput accounting. */
@@ -247,6 +260,8 @@ struct SweepResult
     std::vector<PointResult> points; ///< submission order
     double wallSeconds = 0.0;        ///< batch wall-clock
     int jobs = 1;
+    /** Points dropped by --prune (their slots carry predictions). */
+    std::size_t prunedPoints = 0;
 
     /** Sum of per-point wall times (the serial-equivalent cost). */
     double pointSeconds() const;
@@ -274,6 +289,20 @@ struct SweepResult
  * per-lane results bit-identical to the scalar path (enforced by
  * test_machine_lanes); points that cannot batch fall back to a
  * scalar Machine.
+ *
+ * With options().prune < 1, every point is first scored by the
+ * static performance model (one interpreter profile per distinct
+ * compiled workload, then pure arithmetic per point) and only the
+ * best max(1, floor(prune * n)) points — whole Pareto fronts on
+ * (predicted system cycles, predicted total energy), ties broken by
+ * predicted cycles then submission order — are cycle-simulated.
+ * Dropped points keep their submission-order slots with the model's
+ * predictions and pruned = true; trace files are written only for
+ * simulated points, stall reports skip pruned points, and the count
+ * of dropped points is logged and recorded in prunedPoints. If any
+ * workload's profile is unclean (interpreter livelock), pruning is
+ * disabled for the whole sweep rather than scoring on garbage.
+ * Composes with --jobs and --lanes.
  */
 SweepResult runSweep(SweepRunner &runner,
                      const std::vector<RunSpec> &specs);

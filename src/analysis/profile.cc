@@ -1,0 +1,53 @@
+#include "analysis/profile.h"
+
+#include <unordered_set>
+
+#include "common/log.h"
+#include "dfg/interp.h"
+
+namespace nupea
+{
+
+ExecutionProfile
+profileGraph(const Graph &graph, const BackingStore &image,
+             std::size_t store_bytes)
+{
+    NUPEA_ASSERT(store_bytes >= image.allocated(),
+                 "profile store smaller than the compiled image");
+    BackingStore scratch(store_bytes);
+    scratch.resetTo(image);
+
+    ExecutionProfile profile;
+    profile.memNodes.resize(graph.numNodes());
+
+    // Distinct-line sets: one global, one keyed (node, line). Sized
+    // by lines actually touched, not by memory capacity.
+    std::unordered_set<std::uint64_t> global_lines;
+    std::unordered_set<std::uint64_t> node_lines;
+
+    Interp interp(graph, scratch.raw());
+    interp.setMemObserver([&](NodeId id, Addr addr, bool) {
+        std::uint64_t line = addr / kProfileLineBytes;
+        MemNodeProfile &m = profile.memNodes[id];
+        ++m.accesses;
+        ++m.lineGroup[line % kLineGroups];
+        ++profile.totalAccesses;
+        if (global_lines.insert(line).second)
+            ++profile.distinctLines;
+        if (node_lines.insert((static_cast<std::uint64_t>(id) << 40) |
+                              line)
+                .second)
+            ++m.distinctLines;
+    });
+
+    InterpResult result = interp.run();
+    profile.clean = result.clean;
+    profile.firings = result.firings;
+    profile.loads = result.loads;
+    profile.stores = result.stores;
+    profile.fires = std::move(result.nodeFires);
+    profile.emits = std::move(result.nodeEmits);
+    return profile;
+}
+
+} // namespace nupea

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Config-independent execution profile for the static performance
+ * model (analysis/perf_model.h).
+ *
+ * One untimed interpreter pass over a compiled memory image yields
+ * everything the closed-form estimator needs about *what* a program
+ * does — per-node firing and emission counts, per-memory-node access
+ * counts, footprint, and address-distribution histograms — without
+ * any Machine execution. The profile depends only on (graph, image),
+ * never on a MachineConfig, so one profile is shared across every
+ * sweep point of a compiled workload: the per-config work in
+ * predictPerformance() is pure arithmetic.
+ *
+ * Address histograms are kept modulo kLineGroups cache lines. The
+ * modulus is the LCM of the default bank count (32) and the common
+ * NUMA interleaving factors (1..4, 6, 8, 12), so exact per-bank and
+ * per-NUMA-domain access counts are recoverable whenever the config's
+ * divisor divides kLineGroups; other divisors fall back to a uniform
+ * split.
+ */
+
+#ifndef NUPEA_ANALYSIS_PROFILE_H
+#define NUPEA_ANALYSIS_PROFILE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.h"
+#include "memory/backing_store.h"
+
+namespace nupea
+{
+
+/** Histogram modulus, in cache lines (LCM of 32 banks and the NUMA
+ *  interleave factors 1, 2, 3, 4, 6, 8, 12). */
+constexpr int kLineGroups = 96;
+
+/** Line size the profile's histograms are binned at. Matches the
+ *  default CacheConfig::lineBytes; predictPerformance() rescales the
+ *  footprint when a config deviates. */
+constexpr int kProfileLineBytes = 32;
+
+/** Per-memory-node address statistics. */
+struct MemNodeProfile
+{
+    std::uint64_t accesses = 0;      ///< loads + stores fired
+    std::uint64_t distinctLines = 0; ///< unique kProfileLineBytes lines
+    /** Access counts by (byte address / kProfileLineBytes) mod
+     *  kLineGroups. */
+    std::array<std::uint64_t, kLineGroups> lineGroup{};
+};
+
+/** What one functional execution of a compiled image did. */
+struct ExecutionProfile
+{
+    /** The interpreter quiesced cleanly; predictions are meaningless
+     *  otherwise. */
+    bool clean = false;
+    std::uint64_t firings = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    /** Per-node firing counts, indexed by NodeId. */
+    std::vector<std::uint64_t> fires;
+    /** Per-node emitted-token counts, indexed by NodeId. */
+    std::vector<std::uint64_t> emits;
+    /** Per-node address statistics; only memory nodes have entries
+     *  with accesses > 0. Indexed by NodeId. */
+    std::vector<MemNodeProfile> memNodes;
+    std::uint64_t totalAccesses = 0;
+    /** Unique kProfileLineBytes lines touched across all nodes. */
+    std::uint64_t distinctLines = 0;
+};
+
+/**
+ * Profile `graph` by running the untimed interpreter over a scratch
+ * clone of `image` (the compiled workload's initialized memory).
+ * `store_bytes` sizes the scratch store; pass the MemSysConfig
+ * memBytes the workload was compiled against. The image itself is
+ * never mutated, so profiling is safe on a shared CompiledWorkload.
+ */
+ExecutionProfile profileGraph(const Graph &graph,
+                              const BackingStore &image,
+                              std::size_t store_bytes);
+
+} // namespace nupea
+
+#endif // NUPEA_ANALYSIS_PROFILE_H

@@ -13,12 +13,17 @@
  *      verifyCompiled() (verify/verify.h) — structural, token-rate,
  *      and placement/routing legality diagnostics.
  *   5. Simulate with Machine (sim/machine.h) under the Monaco, UPEA,
- *      or NUMA-UPEA memory model.
+ *      or NUMA-UPEA memory model — or skip simulation and predict
+ *      cycles/energy statically with predictPerformance()
+ *      (analysis/perf_model.h).
  */
 
 #ifndef NUPEA_API_NUPEA_H
 #define NUPEA_API_NUPEA_H
 
+#include "analysis/hazards.h"
+#include "analysis/perf_model.h"
+#include "analysis/profile.h"
 #include "common/log.h"
 #include "common/rng.h"
 #include "common/scc.h"

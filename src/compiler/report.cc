@@ -1,10 +1,71 @@
 #include "compiler/report.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <vector>
 
 namespace nupea
 {
+
+namespace
+{
+
+/** Average ranks (1-based, ties averaged) of `values`. */
+std::vector<double>
+averageRanks(const std::vector<double> &values)
+{
+    const std::size_t n = values.size();
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return values[a] < values[b];
+              });
+    std::vector<double> rank(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && values[order[j + 1]] == values[order[i]])
+            ++j;
+        double mean = (static_cast<double>(i) + static_cast<double>(j)) /
+                          2.0 +
+                      1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            rank[order[k]] = mean;
+        i = j + 1;
+    }
+    return rank;
+}
+
+/** Pearson correlation of two equal-length series (1.0 when either
+ *  side has no variance or there are fewer than two points). */
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 1.0;
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 1.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace
 
 std::string
 placementMap(const Graph &graph, const Topology &topo,
@@ -111,6 +172,24 @@ validateCriticalityRanks(const Graph &graph,
         v.classes.push_back(row);
     }
 
+    // Per-node Spearman: predicted rank is the criticality class
+    // (lower = faster promised path), measured is the node's mean
+    // latency over its own samples.
+    std::vector<double> predicted, measured;
+    for (NodeId id = 0; id < graph.numNodes(); ++id) {
+        const Node &n = graph.node(id);
+        if (!opTraits(n.op).isMemory || n.crit == Criticality::None)
+            continue;
+        if (id >= node_mem_latency.size() ||
+            node_mem_latency[id].count() == 0)
+            continue;
+        const Distribution &d = node_mem_latency[id];
+        predicted.push_back(static_cast<double>(n.crit));
+        measured.push_back(d.sum() / static_cast<double>(d.count()));
+    }
+    v.rankCorrelation =
+        pearson(averageRanks(predicted), averageRanks(measured));
+
     // Predicted order is fastest-first, so measured means must be
     // non-decreasing across the classes that actually sampled.
     double prev = -1.0;
@@ -139,8 +218,37 @@ validateCriticalityRanks(const Graph &graph,
     }
     os << "  measured ranks match prediction: "
        << (v.rankConsistent ? "yes" : "NO") << "\n";
+    os << "  per-node rank correlation: " << v.rankCorrelation << "\n";
     v.table = os.str();
     return v;
+}
+
+PerfModelReport
+validatePerfModel(double predicted_cycles, double measured_cycles,
+                  double predicted_energy, double measured_energy)
+{
+    PerfModelReport r;
+    r.predictedCycles = predicted_cycles;
+    r.measuredCycles = measured_cycles;
+    r.predictedEnergy = predicted_energy;
+    r.measuredEnergy = measured_energy;
+    if (measured_cycles != 0.0)
+        r.cycleError =
+            std::abs(predicted_cycles - measured_cycles) / measured_cycles;
+    if (measured_energy != 0.0)
+        r.energyError =
+            std::abs(predicted_energy - measured_energy) / measured_energy;
+
+    std::ostringstream os;
+    os << "static performance model vs measurement:\n"
+       << "  cycles: predicted=" << predicted_cycles
+       << " measured=" << measured_cycles
+       << " error=" << r.cycleError * 100.0 << "%\n"
+       << "  energy: predicted=" << predicted_energy
+       << " measured=" << measured_energy
+       << " error=" << r.energyError * 100.0 << "%\n";
+    r.table = os.str();
+    return r;
 }
 
 } // namespace nupea

@@ -215,6 +215,8 @@ Interp::fire(NodeId id, InterpResult &result)
             popInput(id, 1);
         Word v = loadWord(static_cast<Addr>(a));
         ++result.loads;
+        if (memObserver_)
+            memObserver_(id, static_cast<Addr>(a), false);
         emit(id, v);
         return 1;
       }
@@ -228,6 +230,8 @@ Interp::fire(NodeId id, InterpResult &result)
             popInput(id, 2);
         storeWord(static_cast<Addr>(a), b);
         ++result.stores;
+        if (memObserver_)
+            memObserver_(id, static_cast<Addr>(a), true);
         emit(id, 0); // done token
         return 1;
 
@@ -253,6 +257,8 @@ InterpResult
 Interp::run(std::uint64_t max_firings)
 {
     InterpResult result;
+    result.nodeFires.assign(graph_.numNodes(), 0);
+    result.nodeEmits.assign(graph_.numNodes(), 0);
 
     // Worklist execution: fire any ready node, seed consumers.
     std::vector<NodeId> worklist;
@@ -269,7 +275,10 @@ Interp::run(std::uint64_t max_firings)
         queued[id] = 0;
 
         while (ready(id)) {
-            fire(id, result);
+            int emitted = fire(id, result);
+            ++result.nodeFires[id];
+            result.nodeEmits[id] +=
+                static_cast<std::uint64_t>(emitted);
             ++result.firings;
             if (result.firings > max_firings) {
                 result.problems.push_back(

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -39,6 +40,14 @@ struct InterpResult
     std::uint64_t stores = 0;
     std::map<NodeId, SinkRecord> sinks;
     std::vector<std::string> problems; ///< stranded-token diagnostics
+    /** Per-node firing counts, indexed by NodeId. Firing counts are a
+     *  property of the dataflow semantics, so they match the timed
+     *  Machine's per-node activity exactly — the static performance
+     *  model (analysis/) is built on this equivalence. */
+    std::vector<std::uint64_t> nodeFires;
+    /** Per-node emitted-token counts (a firing emits 0 or 1 token to
+     *  every fanout edge), indexed by NodeId. */
+    std::vector<std::uint64_t> nodeEmits;
 };
 
 /**
@@ -60,6 +69,17 @@ class Interp
      *                    not clean (livelock diagnosis)
      */
     InterpResult run(std::uint64_t max_firings = 500'000'000);
+
+    /** Per-access callback: (memory node, address, is_store). Used by
+     *  the static performance model to build footprint and port-load
+     *  histograms without a second execution. */
+    using MemObserver = std::function<void(NodeId, Addr, bool)>;
+
+    /** Install an observer invoked on every load/store fired. */
+    void setMemObserver(MemObserver observer)
+    {
+        memObserver_ = std::move(observer);
+    }
 
   private:
     enum class MergeState : std::uint8_t { Init, Ctrl };
@@ -85,6 +105,7 @@ class Interp
     std::vector<HoldState> holdState_;
     std::vector<Word> heldValue_;
     std::vector<bool> sourcePending_;
+    MemObserver memObserver_;
 };
 
 } // namespace nupea

@@ -94,6 +94,13 @@ constexpr DiagInfo kCatalog[kNumDiagIds] = {
      "inter-tile dataflow edge has no routed net"},
     {"route.stale-net", Severity::Warning,
      "routed net matches no dataflow edge of the placed graph"},
+
+    {"perf.recurrence-bound", Severity::Warning,
+     "a loop-carried recurrence dominates the predicted runtime"},
+    {"perf.bank-hotspot", Severity::Warning,
+     "memory traffic concentrates on one port/arbiter far above the mean"},
+    {"perf.underutilized-column", Severity::Warning,
+     "a D0 column carries no traffic while slower domains are loaded"},
 };
 
 const DiagInfo &

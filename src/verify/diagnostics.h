@@ -82,10 +82,17 @@ enum class DiagId : std::uint8_t
     RouteOveruse,    ///< route.overuse
     RouteMissingNet, ///< route.missing-net
     RouteStaleNet,   ///< route.stale-net
+
+    // Static performance-model hazards (perf.*), reported by
+    // analysis/hazards.h from the closed-form estimator.
+    PerfRecurrenceBound,     ///< perf.recurrence-bound
+    PerfBankHotspot,         ///< perf.bank-hotspot
+    PerfUnderutilizedColumn, ///< perf.underutilized-column
 };
 
 /** Number of distinct diagnostic ids (for catalog iteration). */
-constexpr int kNumDiagIds = static_cast<int>(DiagId::RouteStaleNet) + 1;
+constexpr int kNumDiagIds =
+    static_cast<int>(DiagId::PerfUnderutilizedColumn) + 1;
 
 /** Stable dotted string id, e.g. "struct.arity". */
 std::string_view diagIdName(DiagId id);

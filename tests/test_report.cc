@@ -1,11 +1,15 @@
 /**
  * @file
- * Tests for the PnR report utilities (placement map and per-domain
- * criticality summary).
+ * Tests for the PnR report utilities (placement map, per-domain
+ * criticality summary, criticality-rank cross-validation, and the
+ * static-model validation report).
  */
 
 #include <gtest/gtest.h>
 
+#include <map>
+
+#include "bench/bench_util.h"
 #include "compiler/pnr.h"
 #include "compiler/report.h"
 #include "test_support.h"
@@ -73,6 +77,60 @@ TEST(Report, DomainSummarySkipsEmptyClasses)
     PnrResult pnr = placeAndRoute(g, topo);
     ASSERT_TRUE(pnr.success);
     EXPECT_TRUE(domainSummary(g, topo, pnr.placement).empty());
+}
+
+/**
+ * Pinned regression: the criticality analysis's per-node latency
+ * ranks must stay positively correlated with measured per-load
+ * latency (Spearman) for every registered workload, above a
+ * committed per-workload floor. A drop below the floor means a
+ * criticality or placement change degraded the analysis — tighten
+ * the floor when the correlation improves, never loosen it to make
+ * a regression pass. Floors sit ~0.1 under the values measured at
+ * pin time (Monaco 12x12, criticality-aware placement, seed 1).
+ */
+TEST(Report, CriticalityRankCorrelationPinnedFloors)
+{
+    static const std::map<std::string, double> kFloors = {
+        {"dmv", 0.15},      {"jacobi2d", 0.90}, {"heat3d", 0.90},
+        {"spmv", 0.70},     {"spmspm", 0.75},   {"spmspv", 0.65},
+        {"spadd", 0.55},    {"tc", 0.35},       {"mergesort", 0.90},
+        {"fft", 0.45},      {"ad", 0.70},       {"ic", 0.20},
+        {"vww", 0.35},
+    };
+    Topology topo = Topology::makeMonaco(12, 12);
+    for (const std::string &name : workloadNames()) {
+        bench::CompileOptions copts;
+        copts.saIterationsPerNode = 40;
+        bench::CompiledWorkload cw =
+            bench::compileWorkload(name, topo, copts);
+        MachineConfig config =
+            bench::primaryConfig(MemModel::Monaco, 0);
+        config.stallAttribution = true;
+        bench::BenchRun run = bench::runCompiled(cw, config);
+        ASSERT_FALSE(run.nodeMemLatency.empty()) << name;
+
+        CritRankValidation v =
+            validateCriticalityRanks(cw.graph, run.nodeMemLatency);
+        auto it = kFloors.find(name);
+        double floor = it == kFloors.end() ? 0.15 : it->second;
+        EXPECT_GE(v.rankCorrelation, floor)
+            << name << ": per-node rank correlation regressed\n"
+            << v.table;
+    }
+}
+
+TEST(Report, PerfModelReportComputesRelativeErrors)
+{
+    PerfModelReport r = validatePerfModel(900.0, 1000.0, 55.0, 50.0);
+    EXPECT_DOUBLE_EQ(r.cycleError, 0.1);
+    EXPECT_DOUBLE_EQ(r.energyError, 0.1);
+    EXPECT_NE(r.table.find("predicted"), std::string::npos);
+
+    // Measured zero: error defined as zero, not a division blowup.
+    PerfModelReport z = validatePerfModel(5.0, 0.0, 1.0, 0.0);
+    EXPECT_DOUBLE_EQ(z.cycleError, 0.0);
+    EXPECT_DOUBLE_EQ(z.energyError, 0.0);
 }
 
 } // namespace

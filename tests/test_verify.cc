@@ -102,7 +102,8 @@ TEST(VerifyDiagnostics, CatalogIsCompleteAndStable)
         bool prefixed = name.rfind("struct.", 0) == 0 ||
                         name.rfind("rate.", 0) == 0 ||
                         name.rfind("place.", 0) == 0 ||
-                        name.rfind("route.", 0) == 0;
+                        name.rfind("route.", 0) == 0 ||
+                        name.rfind("perf.", 0) == 0;
         EXPECT_TRUE(prefixed) << name;
         names.push_back(name);
     }
