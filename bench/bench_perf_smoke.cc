@@ -21,6 +21,14 @@
  * does) is also timed over the 66-point basket, min-of-3, and written
  * as "analyzer_points_per_sec" so analyzer slowdowns are visible.
  *
+ * The simulated-annealing placer is timed the same way: a min-of-3
+ * single-chain pass over the basket ("placer_points_per_sec"), plus
+ * one 4-chain portfolio pass whose total placement cost is written
+ * next to the single-seed cost ("placer_portfolio_cost" /
+ * "placer_single_cost"). Costs are a pure function of the seeds, so
+ * the guard's quality gate — portfolio never worse than single-seed
+ * on the basket — is deterministic on any host.
+ *
  * With --guard, the measured total firings_per_sec is compared
  * against the committed BASELINE json; more than 25% slower fails
  * (exit 1). Three further gates run:
@@ -241,6 +249,54 @@ main(int argc, char **argv)
             ? static_cast<double>(rspecs.size()) / analyzer_seconds
             : 0.0;
 
+    // Placer throughput + portfolio quality: re-anneal every basket
+    // workload single-chain (min-of-3 walls, same noise policy as the
+    // analyzer), then once as a serial 4-chain portfolio. Criticality
+    // classes were marked on the graphs by placeAndRoute, so this
+    // times exactly the anneal. Placement costs are a pure function
+    // of the seeds — the guard's quality gate below is deterministic
+    // on any host.
+    const int kPortfolioChains = 4;
+    auto basePlacerOptions = [] {
+        CompileOptions defaults;
+        PlacerOptions p;
+        p.mode = defaults.mode;
+        p.seed = defaults.seed;
+        p.iterationsPerNode = defaults.saIterationsPerNode;
+        return p;
+    };
+    double placer_seconds = 0.0;
+    double placer_single_cost = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        auto placer_start = std::chrono::steady_clock::now();
+        double cost = 0.0;
+        for (const CompiledWorkload &cw : compiled) {
+            PortfolioStats stats;
+            placeGraph(cw.graph, cw.topo, basePlacerOptions(), &stats);
+            cost += stats.winnerCost;
+        }
+        double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() -
+                          placer_start)
+                          .count();
+        placer_seconds =
+            rep == 0 ? wall : std::min(placer_seconds, wall);
+        placer_single_cost = cost;
+    }
+    const double placer_points_per_sec =
+        placer_seconds > 0.0
+            ? static_cast<double>(compiled.size()) / placer_seconds
+            : 0.0;
+
+    double placer_portfolio_cost = 0.0;
+    for (const CompiledWorkload &cw : compiled) {
+        PlacerOptions popts = basePlacerOptions();
+        popts.portfolio.chains = kPortfolioChains;
+        PortfolioStats stats;
+        placeGraph(cw.graph, cw.topo, popts, &stats);
+        placer_portfolio_cost += stats.winnerCost;
+    }
+
     SweepRunner serial_runner(SweepOptions{1});
 
     // Untimed warmup: faults the shared images and per-arena pages,
@@ -445,6 +501,15 @@ main(int argc, char **argv)
         analyzer_checksum);
     std::fprintf(
         f,
+        "  \"placer\": {\"workloads\": %zu, \"wall_seconds\": %.6f, "
+        "\"placer_points_per_sec\": %.1f, "
+        "\"placer_single_cost\": %.3f, "
+        "\"placer_portfolio_cost\": %.3f, "
+        "\"portfolio_chains\": %d},\n",
+        compiled.size(), placer_seconds, placer_points_per_sec,
+        placer_single_cost, placer_portfolio_cost, kPortfolioChains);
+    std::fprintf(
+        f,
         "  \"total\": {\"serial_wall_seconds\": %.6f, "
         "\"attr_serial_wall_seconds\": %.6f, "
         "\"fabric_cycles_per_sec\": %.1f, \"firings_per_sec\": %.1f}\n",
@@ -468,6 +533,11 @@ main(int argc, char **argv)
     std::printf("analyzer: %zu points in %.4fs (%.0f points/s)\n",
                 rspecs.size(), analyzer_seconds,
                 analyzer_points_per_sec);
+    std::printf("placer: %zu anneals in %.4fs (%.1f points/s); basket "
+                "cost single %.1f vs %d-chain portfolio %.1f\n",
+                compiled.size(), placer_seconds, placer_points_per_sec,
+                placer_single_cost, kPortfolioChains,
+                placer_portfolio_cost);
     std::printf("wrote %s\n", out_path.c_str());
     if (!identical)
         return 1;
@@ -524,6 +594,48 @@ main(int argc, char **argv)
                         "analyzer_points_per_sec; skipping the "
                         "analyzer gate (re-pin BENCH_perf.json to "
                         "arm it)\n");
+        }
+
+        // Placer-throughput gate: same shape as the analyzer gate
+        // (min-of-3 walls both sides, 1.5x slack, skip-with-note when
+        // the baseline predates the key).
+        double placer_baseline = 0.0;
+        if (readBaselineValue(baseline_text, "placer_points_per_sec",
+                              placer_baseline)) {
+            double pratio = placer_points_per_sec > 0.0
+                                ? placer_baseline / placer_points_per_sec
+                                : 1e9;
+            std::printf("perf guard: placer baseline %.1f points/s, "
+                        "measured %.1f (%.2fx of baseline cost)\n",
+                        placer_baseline, placer_points_per_sec, pratio);
+            if (pratio > 1.5) {
+                warn("perf guard: annealing placer is ", pratio,
+                     "x slower than the committed baseline (limit "
+                     "1.5x; set NUPEA_PERF_GUARD_SKIP=1 on "
+                     "incomparable machines)");
+                return 1;
+            }
+        } else {
+            std::printf("perf guard: baseline has no "
+                        "placer_points_per_sec; skipping the placer "
+                        "gate (re-pin BENCH_perf.json to arm it)\n");
+        }
+
+        // Portfolio-quality gate: a pure cost comparison, so no
+        // baseline and no host-speed caveats. The 4-chain portfolio
+        // must never pick a worse basket than the single seed; a
+        // violation means the epoch/kill machinery regressed (e.g. a
+        // snapshot bug dropping the winner's best state).
+        std::printf("perf guard: placer basket cost single %.1f vs "
+                    "%d-chain portfolio %.1f\n",
+                    placer_single_cost, kPortfolioChains,
+                    placer_portfolio_cost);
+        if (placer_portfolio_cost > placer_single_cost) {
+            warn("perf guard: portfolio placer regression: ",
+                 kPortfolioChains, "-chain basket cost ",
+                 placer_portfolio_cost, " exceeds single-seed ",
+                 placer_single_cost);
+            return 1;
         }
 
         // Lane-batching gate: running each workload's config basket

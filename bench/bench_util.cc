@@ -133,6 +133,13 @@ compileWorkload(const std::string &name, const Topology &topo,
     popts.place.mode = options.mode;
     popts.place.seed = options.seed;
     popts.place.iterationsPerNode = options.saIterationsPerNode;
+    // Portfolio placement: the sentinel 0 (no sweep-runner override)
+    // behaves like the single-seed placer.
+    popts.place.portfolio.chains = std::max(1, options.pnrChains);
+    if (options.pnrEpoch > 0)
+        popts.place.portfolio.epochMovesPerNode = options.pnrEpoch;
+    popts.place.portfolio.pool = options.pnrPool;
+    popts.place.portfolio.trace = options.placerTrace;
 
     int preferred = options.parallelism > 0
                         ? options.parallelism

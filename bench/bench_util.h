@@ -67,6 +67,23 @@ struct CompileOptions
      * messages. Purely analytical — no simulation. Off by default.
      */
     bool perfHazards = false;
+    /**
+     * Portfolio-placer chains (compiler/placement.h). 0 is a
+     * sentinel: "inherit the sweep runner's --pnr-chains" (resolved
+     * by compileAll(); direct compileWorkload() callers get the
+     * single-seed placer). An explicit 1 pins the single-seed placer
+     * regardless of the CLI; > 1 runs that many chains.
+     */
+    int pnrChains = 0;
+    /** Moves per graph node between portfolio sync epochs; 0 uses
+     *  the placer's default. */
+    int pnrEpoch = 0;
+    /** Pool the portfolio placer fans its chains out on; null runs
+     *  chains serially. Borrowed; set by compileAll(). */
+    TaskPool *pnrPool = nullptr;
+    /** Optional placer chain-trace hook (TraceSink::onPlacerEpoch).
+     *  Borrowed. */
+    TraceSink *placerTrace = nullptr;
 };
 
 /**

@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <unordered_set>
 
 #include "analysis/hazards.h"
@@ -94,6 +95,14 @@ printUsage(std::FILE *to, const char *prog,
                  "model predictions, not measurements (approximate\n"
                  "                          near throughput cliffs -- see "
                  "EXPERIMENTS.md before trusting pruned sweeps)\n"
+                 "  --pnr-chains N          portfolio-placer annealing "
+                 "chains per compilation (default 1 = the\n"
+                 "                          single-seed placer; chains "
+                 "share --jobs workers and the chosen placement\n"
+                 "                          is identical for any job "
+                 "count)\n"
+                 "  --pnr-epoch N           moves per graph node between "
+                 "portfolio sync epochs (default: placer's)\n"
                  "  --stall-report          per-point stall-attribution "
                  "tables after the sweep\n"
                  "  --trace-out DIR         one Chrome trace_event JSON "
@@ -107,20 +116,6 @@ printUsage(std::FILE *to, const char *prog,
     for (const std::string &opt : extraFlags)
         std::fprintf(to, "  %s\n", opt.c_str());
 }
-
-/** Worker index of the pool currently executing on this thread. */
-thread_local int tlsWorkerId = -1;
-
-/** Scoped tlsWorkerId assignment for inline (jobs=1) batches. */
-struct ScopedWorkerId
-{
-    explicit ScopedWorkerId(int wid) : saved(tlsWorkerId)
-    {
-        tlsWorkerId = wid;
-    }
-    ~ScopedWorkerId() { tlsWorkerId = saved; }
-    int saved;
-};
 
 } // namespace
 
@@ -181,6 +176,20 @@ parseSweepArgs(int argc, char **argv,
             opts.prune = parsePruneValue(argv[++i]);
         } else if (arg.rfind("--prune=", 0) == 0) {
             opts.prune = parsePruneValue(arg.substr(8));
+        } else if (arg == "--pnr-chains") {
+            if (i + 1 >= argc)
+                fatal(arg, " expects a value");
+            opts.pnrChains = parseCountValue("--pnr-chains", argv[++i]);
+        } else if (arg.rfind("--pnr-chains=", 0) == 0) {
+            opts.pnrChains =
+                parseCountValue("--pnr-chains", arg.substr(13));
+        } else if (arg == "--pnr-epoch") {
+            if (i + 1 >= argc)
+                fatal(arg, " expects a value");
+            opts.pnrEpoch = parseCountValue("--pnr-epoch", argv[++i]);
+        } else if (arg.rfind("--pnr-epoch=", 0) == 0) {
+            opts.pnrEpoch =
+                parseCountValue("--pnr-epoch", arg.substr(12));
         } else if (arg == "--stall-report") {
             opts.stallReport = true;
         } else if (arg == "--trace-out") {
@@ -208,201 +217,8 @@ parseSweepArgs(int argc, char **argv,
 
 SweepRunner::SweepRunner(SweepOptions options)
     : options_(options),
-      jobs_(options.jobs > 0 ? options.jobs : defaultJobs())
-{
-    if (jobs_ > 1) {
-        shards_.reserve(static_cast<std::size_t>(jobs_));
-        for (int w = 0; w < jobs_; ++w)
-            shards_.push_back(std::make_unique<Shard>());
-        workers_.reserve(static_cast<std::size_t>(jobs_));
-        for (int w = 0; w < jobs_; ++w) {
-            workers_.emplace_back(
-                [this, w] { workerLoop(static_cast<std::size_t>(w)); });
-        }
-    }
-}
-
-SweepRunner::~SweepRunner()
-{
-    if (!workers_.empty()) {
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            shutdown_ = true;
-        }
-        cvWork_.notify_all();
-        for (std::thread &t : workers_)
-            t.join();
-    }
-}
-
-int
-SweepRunner::currentWorker()
-{
-    return tlsWorkerId;
-}
-
-void
-SweepRunner::executeTask(std::size_t task)
-{
-    if (poisoned_.load(std::memory_order_relaxed)) {
-        skipped_.fetch_add(1, std::memory_order_relaxed);
-        return;
-    }
-    try {
-        batch_[task]();
-    } catch (...) {
-        errors_[task] = std::current_exception();
-        poisoned_.store(true, std::memory_order_relaxed);
-    }
-}
-
-void
-SweepRunner::runBatchInline()
-{
-    ScopedWorkerId scope(0);
-    for (std::size_t i = 0; i < batch_.size(); ++i)
-        executeTask(i);
-}
-
-void
-SweepRunner::rethrowFirstError()
-{
-    batch_.clear();
-    for (std::exception_ptr &err : errors_) {
-        if (err) {
-            std::exception_ptr first = err;
-            errors_.clear();
-            std::rethrow_exception(first);
-        }
-    }
-    errors_.clear();
-}
-
-void
-SweepRunner::runAll(std::vector<std::function<void()>> tasks)
-{
-    if (tasks.empty())
-        return;
-
-    batch_ = std::move(tasks);
-    errors_.assign(batch_.size(), nullptr);
-    poisoned_.store(false, std::memory_order_relaxed);
-    skipped_.store(0, std::memory_order_relaxed);
-
-    if (workers_.empty()) {
-        runBatchInline();
-    } else {
-        const std::size_t n = batch_.size();
-        // ~4 chunks per worker: big enough to amortize per-chunk
-        // scheduling over tiny points, small enough that stealing
-        // can still balance an uneven batch.
-        const std::size_t grain = std::max<std::size_t>(
-            1, n / (4 * static_cast<std::size_t>(jobs_)));
-
-        // Publish the task count before any chunk is visible.
-        remaining_.store(n, std::memory_order_relaxed);
-
-        // Deal contiguous chunks round-robin. Shard locks, not the
-        // global mutex: the batch_/errors_ writes above happen-before
-        // any worker's take through the same shard lock.
-        std::size_t shard = 0;
-        for (std::size_t begin = 0; begin < n; begin += grain) {
-            Chunk chunk{begin, std::min(begin + grain, n)};
-            Shard &s = *shards_[shard++ % shards_.size()];
-            std::lock_guard<std::mutex> lock(s.mu);
-            s.chunks.push_back(chunk);
-        }
-
-        {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++epoch_;
-        }
-        cvWork_.notify_all();
-
-        {
-            std::unique_lock<std::mutex> lock(mu_);
-            cvDone_.wait(lock, [this] {
-                return remaining_.load(std::memory_order_acquire) == 0;
-            });
-        }
-    }
-
-    rethrowFirstError();
-}
-
-bool
-SweepRunner::takeChunk(std::size_t wid, Chunk &out)
-{
-    Shard &own = *shards_[wid];
-    for (;;) {
-        {
-            std::lock_guard<std::mutex> lock(own.mu);
-            if (!own.chunks.empty()) {
-                // Owners drain front-to-back: chunks were dealt in
-                // submission order and nothing is spawned mid-batch.
-                out = own.chunks.front();
-                own.chunks.pop_front();
-                return true;
-            }
-        }
-        // Steal from the opposite end of the first available peer.
-        bool contended = false;
-        for (std::size_t k = 1; k < shards_.size(); ++k) {
-            Shard &victim = *shards_[(wid + k) % shards_.size()];
-            std::unique_lock<std::mutex> lock(victim.mu,
-                                              std::try_to_lock);
-            if (!lock.owns_lock()) {
-                contended = true;
-                continue;
-            }
-            if (victim.chunks.empty())
-                continue;
-            out = victim.chunks.back();
-            victim.chunks.pop_back();
-            return true;
-        }
-        if (!contended)
-            return false; // every shard is drained
-        std::this_thread::yield();
-    }
-}
-
-void
-SweepRunner::runChunk(const Chunk &chunk)
-{
-    for (std::size_t i = chunk.begin; i < chunk.end; ++i)
-        executeTask(i);
-    std::size_t count = chunk.end - chunk.begin;
-    if (remaining_.fetch_sub(count, std::memory_order_acq_rel) ==
-        count) {
-        // Last chunk of the batch: wake the submitting thread. The
-        // lock pairs with cvDone_.wait's predicate check so the
-        // notification cannot be lost.
-        std::lock_guard<std::mutex> lock(mu_);
-        cvDone_.notify_all();
-    }
-}
-
-void
-SweepRunner::workerLoop(std::size_t wid)
-{
-    tlsWorkerId = static_cast<int>(wid);
-    std::uint64_t seen_epoch = 0;
-    for (;;) {
-        {
-            std::unique_lock<std::mutex> lock(mu_);
-            cvWork_.wait(lock, [this, seen_epoch] {
-                return shutdown_ || epoch_ != seen_epoch;
-            });
-            if (shutdown_)
-                return;
-            seen_epoch = epoch_;
-        }
-        Chunk chunk;
-        while (takeChunk(wid, chunk))
-            runChunk(chunk);
-    }
-}
+      pool_(options.jobs > 0 ? options.jobs : defaultJobs())
+{}
 
 double
 SweepResult::pointSeconds() const
@@ -852,10 +668,24 @@ compileAll(SweepRunner &runner, const std::vector<CompileSpec> &specs)
     std::vector<std::function<CompiledWorkload()>> tasks;
     tasks.reserve(specs.size());
     bool verify = runner.options().verify;
+    int pnr_chains = runner.options().pnrChains;
+    int pnr_epoch = runner.options().pnrEpoch;
+    TaskPool *pool = &runner.pool();
     for (const CompileSpec &spec : specs) {
-        tasks.push_back([&spec, verify]() {
+        tasks.push_back([&spec, verify, pnr_chains, pnr_epoch, pool]() {
             CompileOptions options = spec.options;
             options.verify = options.verify && verify;
+            // Specs that pin their own chain count (pnrChains != 0)
+            // keep it; the sentinel 0 inherits the runner's CLI. The
+            // placer fans its chains out on this very pool — nested
+            // batches run inline on the compiling worker (TaskPool).
+            if (options.pnrChains == 0) {
+                options.pnrChains = pnr_chains;
+                if (options.pnrEpoch == 0)
+                    options.pnrEpoch = pnr_epoch;
+            }
+            if (options.pnrChains > 1 && options.pnrPool == nullptr)
+                options.pnrPool = pool;
             return compileWorkload(spec.name, spec.topo, options);
         });
     }

@@ -10,22 +10,14 @@
  * are bit-identical for any job count (enforced by test_golden_stats);
  * only harness wall-clock changes.
  *
- * Scheduler shape (reworked after the jobs=8 sweep measured *slower*
- * than serial on tiny points):
- *  - Sharded queues: one deque per worker, each behind its own
- *    mutex. Owners pop their front; thieves scan peers and pop the
- *    back. The global mutex is touched only to park idle workers
- *    between batches and to signal batch completion — never per task.
- *  - Chunking: a batch of n tasks is dealt as contiguous chunks of
- *    `max(1, n / (4 * jobs))` tasks, so per-task scheduling overhead
- *    amortizes over many tiny sweep points while leaving ~4 chunks
- *    per worker for stealing to balance.
- *  - Atomic accounting: the remaining-task count is a single atomic
- *    counter; the last decrement signals the submitting thread.
- *  - Fail-fast: the first task exception poisons the batch. Workers
- *    still drain every queued chunk, but un-started tasks are skipped
- *    (and counted — see skippedLast()); the first-submitted recorded
- *    exception is re-thrown from runAll() after the drain.
+ * The scheduler itself — the sharded work-stealing pool with
+ * chunked dealing and fail-fast poisoning — lives in
+ * common/task_pool.h so library code (the portfolio placer) can use
+ * it too; SweepRunner is a thin wrapper that owns one TaskPool plus
+ * the sweep-level options. Nested runAll() calls on the same pool
+ * run inline (see TaskPool), which is what lets a portfolio placer
+ * fan its chains out on the very pool that is running its
+ * compileAll() batch.
  *
  * Thread-safety contract leaned on here (audited with the original
  * pool PR):
@@ -44,19 +36,13 @@
 #ifndef NUPEA_BENCH_SWEEP_RUNNER_H
 #define NUPEA_BENCH_SWEEP_RUNNER_H
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
-#include <exception>
 #include <functional>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/task_pool.h"
 
 namespace nupea
 {
@@ -93,6 +79,15 @@ struct SweepOptions
      *  predictions instead of measurements (PointResult::pruned).
      *  1.0 (the default) simulates everything. */
     double prune = 1.0;
+    /** Portfolio-placer chains per compilation (`--pnr-chains`).
+     *  1 (the default) is the historical single-seed placer; larger
+     *  values run that many independent annealing chains with
+     *  dominated-chain early kill (compiler/placement.h). Applied by
+     *  compileAll() to specs that don't pin their own chain count. */
+    int pnrChains = 1;
+    /** Moves per graph node between portfolio sync epochs
+     *  (`--pnr-epoch`); 0 uses the placer's default. */
+    int pnrEpoch = 0;
 
     /** Any observability feature requested? */
     bool
@@ -108,8 +103,9 @@ int defaultJobs();
 /**
  * Parse --jobs N / --jobs=N / -j N / -jN, --lanes N / --lanes=N,
  * --prune FRAC / --prune=FRAC (a fraction in (0, 1]; <= 0 or > 1 is
- * fatal), --stall-report, --trace-out DIR / --trace-out=DIR, and
- * --verify / --no-verify.
+ * fatal), --pnr-chains N / --pnr-chains=N and --pnr-epoch N /
+ * --pnr-epoch=N (both reject values < 1), --stall-report,
+ * --trace-out DIR / --trace-out=DIR, and --verify / --no-verify.
  * --help / -h prints the usage message and exits 0. Any other
  * `-`/`--` argument is fatal() with the usage message — a typo like
  * `--job 8` must not silently run serial. Benches with their own
@@ -124,21 +120,25 @@ parseSweepArgs(int argc, char **argv,
                const std::vector<std::string> &extraFlags = {});
 
 /**
- * A small work-stealing thread pool with sharded queues (see the
- * file comment for the scheduling shape). With jobs == 1 the batch
- * runs inline on the calling thread (the exact serial path).
+ * Sweep options wrapped around one work-stealing TaskPool (see
+ * common/task_pool.h for the scheduling shape). With jobs == 1 every
+ * batch runs inline on the calling thread (the exact serial path).
  */
 class SweepRunner
 {
   public:
     explicit SweepRunner(SweepOptions options = SweepOptions{});
-    ~SweepRunner();
 
     SweepRunner(const SweepRunner &) = delete;
     SweepRunner &operator=(const SweepRunner &) = delete;
 
-    int jobs() const { return jobs_; }
+    int jobs() const { return pool_.jobs(); }
     const SweepOptions &options() const { return options_; }
+
+    /** The underlying pool — hand this to library code that fans its
+     *  own work out (e.g. PortfolioOptions::pool); compileAll() does
+     *  so automatically for portfolio compilations. */
+    TaskPool &pool() { return pool_; }
 
     /**
      * The executing pool's worker index for the current thread:
@@ -147,7 +147,7 @@ class SweepRunner
      * per-worker scratch state — e.g. runSweep's BackingStore
      * arenas — without any locking.
      */
-    static int currentWorker();
+    static int currentWorker() { return TaskPool::currentWorker(); }
 
     /**
      * Execute every task to completion (blocks). If any task threw,
@@ -155,14 +155,14 @@ class SweepRunner
      * and the first-submitted recorded exception is re-thrown here
      * after the whole batch has drained.
      */
-    void runAll(std::vector<std::function<void()>> tasks);
+    void
+    runAll(std::vector<std::function<void()>> tasks)
+    {
+        pool_.runAll(std::move(tasks));
+    }
 
     /** Tasks skipped by fail-fast poisoning in the last batch. */
-    std::size_t
-    skippedLast() const
-    {
-        return skipped_.load(std::memory_order_relaxed);
-    }
+    std::size_t skippedLast() const { return pool_.skippedLast(); }
 
     /**
      * Parallel map with submission-ordered results. T must be
@@ -172,61 +172,12 @@ class SweepRunner
     std::vector<T>
     map(std::vector<std::function<T()>> tasks)
     {
-        std::vector<T> out(tasks.size());
-        std::vector<std::function<void()>> thunks;
-        thunks.reserve(tasks.size());
-        for (std::size_t i = 0; i < tasks.size(); ++i)
-            thunks.push_back([&out, &tasks, i] { out[i] = tasks[i](); });
-        runAll(std::move(thunks));
-        return out;
+        return pool_.map(std::move(tasks));
     }
 
   private:
-    /** A contiguous [begin, end) slice of the current batch. */
-    struct Chunk
-    {
-        std::size_t begin = 0;
-        std::size_t end = 0;
-    };
-
-    /** One worker's queue; own mutex so takes never serialize the
-     *  whole pool. Heap-allocated (and padded) per worker so shards
-     *  sit on distinct cache lines. */
-    struct alignas(64) Shard
-    {
-        std::mutex mu;
-        std::deque<Chunk> chunks;
-    };
-
-    void workerLoop(std::size_t wid);
-    /** Pop own front, else steal a peer's back; retries while any
-     *  peer lock is contended so no queued chunk is stranded. */
-    bool takeChunk(std::size_t wid, Chunk &out);
-    void runChunk(const Chunk &chunk);
-    /** Run one task, recording errors and honoring poisoning. */
-    void executeTask(std::size_t task);
-    void runBatchInline();
-    void rethrowFirstError();
-
     SweepOptions options_;
-    int jobs_;
-    std::vector<std::unique_ptr<Shard>> shards_;
-    std::vector<std::thread> workers_;
-
-    /** Current batch; written by runAll before chunks are dealt, so
-     *  every worker access is ordered by a shard mutex acquire. */
-    std::vector<std::function<void()>> batch_;
-    std::vector<std::exception_ptr> errors_; ///< slot per task
-
-    std::atomic<std::size_t> remaining_{0}; ///< not yet run/skipped
-    std::atomic<bool> poisoned_{false};     ///< a task threw
-    std::atomic<std::size_t> skipped_{0};   ///< fail-fast skips
-
-    std::mutex mu_; ///< parks idle workers; guards epoch_/shutdown_
-    std::condition_variable cvWork_;
-    std::condition_variable cvDone_;
-    std::uint64_t epoch_ = 0; ///< bumped per runAll batch
-    bool shutdown_ = false;
+    TaskPool pool_;
 };
 
 /** One sweep point: run `cw` under `config` on a fresh machine. */

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * A small work-stealing thread pool with sharded per-worker queues.
+ *
+ * Extracted from the bench sweep runner so library code — today the
+ * portfolio placer (compiler/placement.h), tomorrow the
+ * simulation-as-a-service daemon — can run batches of independent
+ * tasks without depending on the bench layer. The scheduling shape
+ * is unchanged from the audited sweep-runner pool:
+ *
+ *  - Sharded queues: one deque per worker, each behind its own
+ *    mutex. Owners pop their front; thieves scan peers and pop the
+ *    back. The global mutex is touched only to park idle workers
+ *    between batches and to signal batch completion — never per task.
+ *  - Chunking: a batch of n tasks is dealt as contiguous chunks of
+ *    `max(1, n / (4 * jobs))` tasks, so per-task scheduling overhead
+ *    amortizes over many tiny sweep points while leaving ~4 chunks
+ *    per worker for stealing to balance.
+ *  - Atomic accounting: the remaining-task count is a single atomic
+ *    counter; the last decrement signals the submitting thread.
+ *  - Fail-fast: the first task exception poisons the batch. Workers
+ *    still drain every queued chunk, but un-started tasks are skipped
+ *    (and counted — see skippedLast()); the first-submitted recorded
+ *    exception is re-thrown from runAll() after the drain.
+ *
+ * Reentrancy: runAll() may be called from inside a task of the same
+ * pool (e.g. a parallel compile batch whose placer wants to fan its
+ * annealing chains out). A nested call — or a call racing another
+ * thread's active batch — runs its tasks inline on the calling
+ * thread instead of deadlocking on the shared batch state. Results
+ * are identical either way; only parallelism degrades. A nested
+ * inline batch keeps the enclosing worker's currentWorker() id, so
+ * per-worker scratch arenas indexed by it stay exclusive.
+ */
+
+#ifndef NUPEA_COMMON_TASK_POOL_H
+#define NUPEA_COMMON_TASK_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nupea
+{
+
+class TaskPool
+{
+  public:
+    /** A pool of `jobs` workers; jobs <= 1 runs every batch inline on
+     *  the calling thread (the exact serial path, no threads made). */
+    explicit TaskPool(int jobs = 1);
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    int jobs() const { return jobs_; }
+
+    /**
+     * The executing pool's worker index for the current thread:
+     * 0..jobs-1 on pool threads (and on the calling thread while an
+     * inline batch runs), -1 elsewhere. Tasks use it to index
+     * per-worker scratch state without any locking.
+     */
+    static int currentWorker();
+
+    /**
+     * Execute every task to completion (blocks). If any task threw,
+     * the batch is poisoned — tasks not yet started are skipped —
+     * and the first-submitted recorded exception is re-thrown here
+     * after the whole batch has drained. Safe to call from inside a
+     * task of this pool (the nested batch runs inline).
+     */
+    void runAll(std::vector<std::function<void()>> tasks);
+
+    /** Tasks skipped by fail-fast poisoning in the last top-level
+     *  batch (nested inline batches do not disturb this count). */
+    std::size_t
+    skippedLast() const
+    {
+        return skipped_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Parallel map with submission-ordered results. T must be
+     * default-constructible and move-assignable.
+     */
+    template <typename T>
+    std::vector<T>
+    map(std::vector<std::function<T()>> tasks)
+    {
+        std::vector<T> out(tasks.size());
+        std::vector<std::function<void()>> thunks;
+        thunks.reserve(tasks.size());
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            thunks.push_back([&out, &tasks, i] { out[i] = tasks[i](); });
+        runAll(std::move(thunks));
+        return out;
+    }
+
+  private:
+    /** A contiguous [begin, end) slice of the current batch. */
+    struct Chunk
+    {
+        std::size_t begin = 0;
+        std::size_t end = 0;
+    };
+
+    /** One worker's queue; own mutex so takes never serialize the
+     *  whole pool. Heap-allocated (and padded) per worker so shards
+     *  sit on distinct cache lines. */
+    struct alignas(64) Shard
+    {
+        std::mutex mu;
+        std::deque<Chunk> chunks;
+    };
+
+    void workerLoop(std::size_t wid);
+    /** Pop own front, else steal a peer's back; retries while any
+     *  peer lock is contended so no queued chunk is stranded. */
+    bool takeChunk(std::size_t wid, Chunk &out);
+    void runChunk(const Chunk &chunk);
+    /** Run one task of the dispatched batch, recording errors and
+     *  honoring poisoning. */
+    void executeTask(std::size_t task);
+    /** Serial execution with purely local error/skip state; used for
+     *  jobs=1 pools, nested calls, and racing top-level calls. */
+    void runInline(std::vector<std::function<void()>> &tasks,
+                   bool top_level);
+
+    int jobs_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::thread> workers_;
+
+    /** Current dispatched batch; written by runAll before chunks are
+     *  dealt, so every worker access is ordered by a shard mutex
+     *  acquire. */
+    std::vector<std::function<void()>> batch_;
+    std::vector<std::exception_ptr> errors_; ///< slot per task
+
+    std::atomic<std::size_t> remaining_{0}; ///< not yet run/skipped
+    std::atomic<bool> poisoned_{false};     ///< a task threw
+    std::atomic<std::size_t> skipped_{0};   ///< fail-fast skips
+    std::atomic<bool> active_{false};       ///< a batch is dispatched
+
+    std::mutex mu_; ///< parks idle workers; guards epoch_/shutdown_
+    std::condition_variable cvWork_;
+    std::condition_variable cvDone_;
+    std::uint64_t epoch_ = 0; ///< bumped per runAll batch
+    bool shutdown_ = false;
+};
+
+} // namespace nupea
+
+#endif // NUPEA_COMMON_TASK_POOL_H

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <functional>
+#include <memory>
 
 #include "common/log.h"
+#include "common/task_pool.h"
+#include "sim/trace.h"
 
 namespace nupea
 {
@@ -44,20 +48,45 @@ namespace
 
 constexpr int kNumFuClasses = 4;
 
+/** The historical annealing temperature schedule endpoints. Chain 0
+ *  always uses kTBegin; diversified chains perturb their start. */
+constexpr double kTBegin = 12.0;
+constexpr double kTEnd = 0.05;
+
 int
 fuIndex(FuClass fu)
 {
     return static_cast<int>(fu);
 }
 
-/** Working state shared by initial placement and annealing. */
+/**
+ * Derive chain k's RNG seed from the base seed (splitmix64 finalizer
+ * over a golden-ratio stride). Chain 0 keeps the base seed verbatim
+ * so its stream is the historical single-seed placer's.
+ */
+std::uint64_t
+mixChainSeed(std::uint64_t base, std::uint64_t chain)
+{
+    std::uint64_t z = base + 0x9E3779B97F4A7C15ull * chain;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** One annealing chain: working state for initial placement and a
+ *  resumable, epoch-sliced anneal with incremental cost tracking. */
 class PlacerState
 {
   public:
     PlacerState(const Graph &graph, const Topology &topo,
-                const PlacerOptions &options)
-        : graph_(graph), topo_(topo), options_(options),
-          rng_(options.seed), pos_(graph.numNodes(), Coord{-1, -1}),
+                const PlacerOptions &options, std::uint64_t seed,
+                double t_begin, double p_local)
+        : graph_(graph), topo_(topo), options_(options), rng_(seed),
+          tBegin_(t_begin), pLocal_(p_local),
+          schedTotal_(static_cast<std::uint64_t>(
+                          options.iterationsPerNode) *
+                      graph.numNodes()),
+          pos_(graph.numNodes(), Coord{-1, -1}),
           occupants_(static_cast<std::size_t>(topo.numTiles()))
     {}
 
@@ -67,6 +96,19 @@ class PlacerState
         Placement p;
         p.pos = pos_;
         return p;
+    }
+
+    const std::vector<Coord> &positions() const { return pos_; }
+    double cost() const { return cost_; }
+    std::uint64_t accepted() const { return accepted_; }
+    std::uint64_t moveIndex() const { return moveIndex_; }
+
+    /** Temperature the next move will anneal at. Moves past the
+     *  chain's own schedule (reclaimed budget) run fully quenched. */
+    double
+    currentTemp() const
+    {
+        return tempAt(moveIndex_);
     }
 
     /** Memory-distance cost of putting a memory node on `tile`. */
@@ -159,11 +201,64 @@ class PlacerState
     }
 
     void initialPlace();
-    void anneal();
+    void annealMoves(std::uint64_t count);
+
+    /** Seed the incremental cost tracker from a full recompute;
+     *  call once after initialPlace(). */
+    void
+    initCost()
+    {
+        cost_ = fullCost();
+    }
+
+    /**
+     * Drift assertion (anneal end): the incremental cost bookkeeping
+     * must match a full recompute. Catches silent divergence between
+     * localCost() deltas and the placementCost() model.
+     */
+    void
+    assertCostInSync() const
+    {
+        double full = fullCost();
+        double tol = 1e-6 * std::max(1.0, std::abs(full));
+        NUPEA_ASSERT(std::abs(cost_ - full) <= tol,
+                     "annealer cost drift: incremental ", cost_,
+                     " vs full recompute ", full);
+    }
 
     Rng &rng() { return rng_; }
 
   private:
+    double
+    tempAt(std::uint64_t i) const
+    {
+        if (i >= schedTotal_)
+            return kTEnd;
+        return tBegin_ *
+               std::pow(kTEnd / tBegin_,
+                        static_cast<double>(i) /
+                            static_cast<double>(schedTotal_));
+    }
+
+    /** Full objective of the current positions (same model as the
+     *  free placementCost(), over pos_ without copying). */
+    double
+    fullCost() const
+    {
+        double cost = 0.0;
+        for (NodeId id = 0; id < graph_.numNodes(); ++id) {
+            const Node &n = graph_.node(id);
+            for (const InputConn &in : n.inputs) {
+                if (!in.isImm && in.src != kInvalidId) {
+                    cost += options_.wirelenWeight *
+                            pos_[in.src].manhattan(pos_[id]);
+                }
+            }
+            if (opTraits(n.op).isMemory)
+                cost += nodeMemCost(id, pos_[id]);
+        }
+        return cost;
+    }
     /** Random occupant of `tile` with FU class `fu`, or kInvalidId. */
     NodeId
     randomOccupant(Coord tile, FuClass fu)
@@ -207,6 +302,12 @@ class PlacerState
     const Topology &topo_;
     const PlacerOptions &options_;
     Rng rng_;
+    double tBegin_;             ///< chain's schedule start temperature
+    double pLocal_;             ///< short-range move probability
+    std::uint64_t schedTotal_;  ///< chain's own annealing schedule
+    std::uint64_t moveIndex_ = 0;
+    std::uint64_t accepted_ = 0;
+    double cost_ = 0.0; ///< incremental objective (see initCost)
     std::vector<Coord> pos_;
     /** occupants_[tile][fuClass] = node list. */
     std::vector<std::array<std::vector<NodeId>, kNumFuClasses>> occupants_;
@@ -315,31 +416,37 @@ PlacerState::initialPlace()
 }
 
 void
-PlacerState::anneal()
+PlacerState::annealMoves(std::uint64_t count)
 {
     const std::size_t n = graph_.numNodes();
     if (n == 0)
         return;
 
-    const std::uint64_t iterations =
-        static_cast<std::uint64_t>(options_.iterationsPerNode) * n;
-    const double t_begin = 12.0;
-    const double t_end = 0.05;
-
-    for (std::uint64_t i = 0; i < iterations; ++i) {
-        double temp =
-            t_begin *
-            std::pow(t_end / t_begin,
-                     static_cast<double>(i) /
-                         static_cast<double>(iterations));
+    const std::uint64_t end = moveIndex_ + count;
+    for (; moveIndex_ < end; ++moveIndex_) {
+        double temp = tempAt(moveIndex_);
 
         NodeId a = static_cast<NodeId>(rng_.below(n));
         FuClass fu = opTraits(graph_.node(a).op).fu;
         Coord from = pos_[a];
-        Coord to{static_cast<std::int32_t>(
-                     rng_.below(static_cast<std::uint64_t>(topo_.rows()))),
-                 static_cast<std::int32_t>(rng_.below(
-                     static_cast<std::uint64_t>(topo_.cols())))};
+        Coord to;
+        // Diversified chains mix in short-range moves. The gate
+        // short-circuits before drawing, so an unperturbed chain
+        // (pLocal == 0: chain 0 and every chains=1 run) consumes
+        // exactly the historical RNG stream.
+        if (pLocal_ > 0.0 && rng_.chance(pLocal_)) {
+            to = Coord{from.row +
+                           static_cast<std::int32_t>(rng_.below(5)) - 2,
+                       from.col +
+                           static_cast<std::int32_t>(rng_.below(5)) - 2};
+            if (!topo_.inBounds(to))
+                continue;
+        } else {
+            to = Coord{static_cast<std::int32_t>(rng_.below(
+                           static_cast<std::uint64_t>(topo_.rows()))),
+                       static_cast<std::int32_t>(rng_.below(
+                           static_cast<std::uint64_t>(topo_.cols())))};
+        }
         if (to == from)
             continue;
         if (topo_.slots(to).forClass(fu) == 0)
@@ -371,6 +478,13 @@ PlacerState::anneal()
             put(a, from);
             if (b != kInvalidId)
                 put(b, to);
+        } else {
+            // localCost covers exactly the edges a move can change
+            // (a-b duplicates subtracted), so its delta equals the
+            // full-objective delta and the incremental sum tracks
+            // placementCost() — assertCostInSync() enforces this.
+            cost_ += delta;
+            ++accepted_;
         }
     }
 }
@@ -435,9 +549,42 @@ placementCost(const Graph &graph, const Topology &topo,
     return cost;
 }
 
+namespace
+{
+
+/** One chain plus the driver's barrier-side bookkeeping. */
+struct ChainRun
+{
+    std::unique_ptr<PlacerState> state;
+    std::uint64_t seed = 0;
+    std::uint64_t scheduled = 0; ///< total moves this chain may run
+    std::uint64_t executed = 0;
+    std::uint64_t pendingStep = 0; ///< moves dispatched this epoch
+    double bestCost = 0.0;         ///< best epoch-boundary cost
+    std::vector<Coord> bestPos;    ///< snapshot at bestCost
+    bool alive = true;
+    int killedAtEpoch = -1;
+};
+
+/** Fan tasks out on the pool, or run them serially in submission
+ *  order when none was given. Chain results are identical either
+ *  way — each task touches only its own chain's state. */
+void
+runChainTasks(TaskPool *pool, std::vector<std::function<void()>> tasks)
+{
+    if (pool) {
+        pool->runAll(std::move(tasks));
+        return;
+    }
+    for (std::function<void()> &task : tasks)
+        task();
+}
+
+} // namespace
+
 Placement
 placeGraph(const Graph &graph, const Topology &topo,
-           const PlacerOptions &options)
+           const PlacerOptions &options, PortfolioStats *stats)
 {
     // Fail fast when the graph cannot fit.
     for (FuClass fu : {FuClass::Arith, FuClass::Control, FuClass::Mem,
@@ -451,14 +598,254 @@ placeGraph(const Graph &graph, const Topology &topo,
         }
     }
 
-    PlacerState state(graph, topo, options);
-    state.initialPlace();
-    state.anneal();
+    const PortfolioOptions &pf = options.portfolio;
+    const int chains = std::max(1, pf.chains);
+    const std::size_t n = graph.numNodes();
+    const std::uint64_t schedule =
+        static_cast<std::uint64_t>(options.iterationsPerNode) * n;
 
-    Placement result = state.placement();
-    std::string why;
-    if (!placementLegal(graph, topo, result, &why))
-        panic("placer produced illegal placement: ", why);
+    if (chains == 1) {
+        // The historical single-seed placer: one unperturbed chain,
+        // final state returned (not the best snapshot), bit-for-bit
+        // identical RNG stream.
+        PlacerState state(graph, topo, options, options.seed, kTBegin,
+                          /*p_local=*/0.0);
+        state.initialPlace();
+        state.initCost();
+        state.annealMoves(schedule);
+        state.assertCostInSync();
+
+        Placement result = state.placement();
+        std::string why;
+        if (!placementLegal(graph, topo, result, &why))
+            panic("placer produced illegal placement: ", why);
+        if (stats) {
+            stats->chains.assign(1, PlacerChainStats{});
+            PlacerChainStats &cs = stats->chains[0];
+            cs.seed = options.seed;
+            cs.moves = state.moveIndex();
+            cs.accepted = state.accepted();
+            cs.finalCost = state.cost();
+            cs.bestCost = state.cost();
+            cs.winner = true;
+            stats->epochs = 0;
+            stats->winnerChain = 0;
+            stats->winnerCost =
+                placementCost(graph, topo, result, options);
+        }
+        return result;
+    }
+
+    // Portfolio mode. Every barrier decision below is a function of
+    // deterministic per-chain results, and each chain's segment is a
+    // pure function of its seed and move schedule — so the chosen
+    // placement is independent of the pool width (or of having a
+    // pool at all).
+    const std::uint64_t epoch_len = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::max(1, pf.epochMovesPerNode)) *
+               n);
+    const std::uint64_t max_budget = std::max(
+        schedule, static_cast<std::uint64_t>(
+                      pf.maxBudgetFactor * static_cast<double>(schedule)));
+
+    std::vector<ChainRun> runs(static_cast<std::size_t>(chains));
+    for (int k = 0; k < chains; ++k) {
+        ChainRun &run = runs[static_cast<std::size_t>(k)];
+        std::uint64_t seed = options.seed;
+        double t_begin = kTBegin;
+        double p_local = 0.0;
+        if (k > 0) {
+            seed = mixChainSeed(options.seed,
+                                static_cast<std::uint64_t>(k));
+            if (pf.diversify) {
+                // Chain-indexed perturbations: start temperature in
+                // [0.6, 1.5] x the default, short-range move mix up
+                // to 45%. Chain 0 stays the reference schedule.
+                std::uint64_t bits = mixChainSeed(seed, 0x70F0ull);
+                double u1 = static_cast<double>((bits >> 11) & 0x3FFFFF) /
+                            static_cast<double>(0x400000);
+                double u2 = static_cast<double>((bits >> 33) & 0x3FFFFF) /
+                            static_cast<double>(0x400000);
+                t_begin = kTBegin * (0.6 + 0.9 * u1);
+                p_local = 0.45 * u2;
+            }
+        }
+        run.seed = seed;
+        run.scheduled = schedule;
+        run.state = std::make_unique<PlacerState>(graph, topo, options,
+                                                  seed, t_begin, p_local);
+    }
+
+    // Epoch 0: initial placements + cost seeding, fanned out.
+    {
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(runs.size());
+        for (ChainRun &run : runs) {
+            tasks.push_back([&run] {
+                run.state->initialPlace();
+                run.state->initCost();
+            });
+        }
+        runChainTasks(pf.pool, std::move(tasks));
+    }
+    for (int k = 0; k < chains; ++k) {
+        ChainRun &run = runs[static_cast<std::size_t>(k)];
+        run.bestCost = run.state->cost();
+        run.bestPos = run.state->positions();
+        if (pf.trace) {
+            pf.trace->onPlacerEpoch(k, 0, 0, run.state->currentTemp(),
+                                    run.state->cost(), run.bestCost,
+                                    /*alive=*/true);
+        }
+    }
+
+    int epoch = 0;
+    for (;;) {
+        std::vector<int> running;
+        for (int k = 0; k < chains; ++k) {
+            const ChainRun &run = runs[static_cast<std::size_t>(k)];
+            if (run.alive && run.executed < run.scheduled)
+                running.push_back(k);
+        }
+        if (running.empty())
+            break;
+        ++epoch;
+
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(running.size());
+        for (int k : running) {
+            ChainRun &run = runs[static_cast<std::size_t>(k)];
+            run.pendingStep =
+                std::min(epoch_len, run.scheduled - run.executed);
+            std::uint64_t step = run.pendingStep;
+            PlacerState *state = run.state.get();
+            tasks.push_back([state, step] { state->annealMoves(step); });
+        }
+        runChainTasks(pf.pool, std::move(tasks));
+
+        // Barrier: fold in segment results, snapshot improvements.
+        for (int k : running) {
+            ChainRun &run = runs[static_cast<std::size_t>(k)];
+            run.executed += run.pendingStep;
+            double cost = run.state->cost();
+            if (cost < run.bestCost) {
+                run.bestCost = cost;
+                run.bestPos = run.state->positions();
+            }
+        }
+
+        // Kill rule: the leader (lowest best cost, lowest index on
+        // ties) is immune; any other live chain dominated beyond the
+        // margin stops here and donates its unspent budget.
+        int leader = -1;
+        for (int k = 0; k < chains; ++k) {
+            const ChainRun &run = runs[static_cast<std::size_t>(k)];
+            if (run.alive &&
+                (leader < 0 ||
+                 run.bestCost <
+                     runs[static_cast<std::size_t>(leader)].bestCost))
+                leader = k;
+        }
+        std::uint64_t reclaimed = 0;
+        double leader_best =
+            runs[static_cast<std::size_t>(leader)].bestCost;
+        for (int k = 0; k < chains; ++k) {
+            ChainRun &run = runs[static_cast<std::size_t>(k)];
+            if (!run.alive || k == leader)
+                continue;
+            if (run.bestCost > leader_best * (1.0 + pf.killMargin)) {
+                run.alive = false;
+                run.killedAtEpoch = epoch;
+                reclaimed += run.scheduled - run.executed;
+                run.scheduled = run.executed;
+            }
+        }
+
+        // Reassign reclaimed budget to survivors below the cap; the
+        // integer-division remainder is dropped (deterministically).
+        if (reclaimed > 0) {
+            std::vector<int> takers;
+            for (int k = 0; k < chains; ++k) {
+                const ChainRun &run = runs[static_cast<std::size_t>(k)];
+                if (run.alive && run.scheduled < max_budget)
+                    takers.push_back(k);
+            }
+            if (!takers.empty()) {
+                std::uint64_t share = reclaimed / takers.size();
+                for (int k : takers) {
+                    ChainRun &run = runs[static_cast<std::size_t>(k)];
+                    run.scheduled =
+                        std::min(max_budget, run.scheduled + share);
+                }
+            }
+        }
+
+        if (pf.trace) {
+            for (int k : running) {
+                const ChainRun &run = runs[static_cast<std::size_t>(k)];
+                pf.trace->onPlacerEpoch(
+                    k, epoch, run.executed, run.state->currentTemp(),
+                    run.state->cost(), run.bestCost, run.alive);
+            }
+        }
+    }
+
+    // Drift assertion for every chain that annealed (killed chains
+    // are consistent at the point they stopped).
+    for (const ChainRun &run : runs)
+        run.state->assertCostInSync();
+
+    // Winner: lowest best cost among survivors, lowest chain index
+    // (= seed order) on ties. A killed chain can never win: a kill
+    // requires best > leaderBest * (1 + margin) at some barrier, and
+    // the surviving minimum only decreases after that.
+    int winner = -1;
+    for (int k = 0; k < chains; ++k) {
+        const ChainRun &run = runs[static_cast<std::size_t>(k)];
+        if (run.alive &&
+            (winner < 0 ||
+             run.bestCost <
+                 runs[static_cast<std::size_t>(winner)].bestCost))
+            winner = k;
+    }
+    NUPEA_ASSERT(winner >= 0, "portfolio anneal killed every chain");
+
+    // Verify every surviving chain's placement, not just the winner.
+    for (int k = 0; k < chains; ++k) {
+        const ChainRun &run = runs[static_cast<std::size_t>(k)];
+        if (!run.alive)
+            continue;
+        Placement p;
+        p.pos = run.bestPos;
+        std::string why;
+        if (!placementLegal(graph, topo, p, &why)) {
+            panic("portfolio chain ", k,
+                  " produced illegal placement: ", why);
+        }
+    }
+
+    Placement result;
+    result.pos = runs[static_cast<std::size_t>(winner)].bestPos;
+    if (stats) {
+        stats->chains.assign(static_cast<std::size_t>(chains),
+                             PlacerChainStats{});
+        for (int k = 0; k < chains; ++k) {
+            const ChainRun &run = runs[static_cast<std::size_t>(k)];
+            PlacerChainStats &cs =
+                stats->chains[static_cast<std::size_t>(k)];
+            cs.seed = run.seed;
+            cs.moves = run.executed;
+            cs.accepted = run.state->accepted();
+            cs.finalCost = run.state->cost();
+            cs.bestCost = run.bestCost;
+            cs.killedAtEpoch = run.killedAtEpoch;
+            cs.winner = (k == winner);
+        }
+        stats->epochs = epoch;
+        stats->winnerChain = winner;
+        stats->winnerCost = placementCost(graph, topo, result, options);
+    }
     return result;
 }
 

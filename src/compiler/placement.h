@@ -13,6 +13,19 @@
  *  - DomainUnaware:    no memory-cost term, random LS assignment;
  *  - DomainAware:      domain preference but criticality-blind;
  *  - CriticalityAware: full effcc heuristic.
+ *
+ * The annealer is a *portfolio*: K independent chains (distinct
+ * seeds, optionally perturbed temperature schedules and move mixes)
+ * run concurrently on a caller-provided TaskPool, synchronizing at
+ * fixed move-count epochs. At each epoch barrier, chains whose
+ * best-so-far cost is dominated beyond a margin are killed and their
+ * unspent move budget is reassigned to the survivors (capped at
+ * maxBudgetFactor x the single-chain schedule, which bounds the
+ * parallel critical path). The winner is picked deterministically
+ * (lowest best cost, then lowest chain index — i.e. seed order), so
+ * the chosen placement is a pure function of the options and is
+ * byte-identical for any pool width. chains=1 reproduces the
+ * historical single-seed placer bit-for-bit.
  */
 
 #ifndef NUPEA_COMPILER_PLACEMENT_H
@@ -28,6 +41,9 @@
 
 namespace nupea
 {
+
+class TaskPool;  // common/task_pool.h
+class TraceSink; // sim/trace.h
 
 /** Per-node tile assignment. */
 struct Placement
@@ -52,6 +68,53 @@ enum class PlaceMode : std::uint8_t
 /** Printable mode name. */
 std::string_view placeModeName(PlaceMode mode);
 
+/** Portfolio-annealing knobs (see the file comment). */
+struct PortfolioOptions
+{
+    /** Number of independent SA chains. 1 = the historical
+     *  single-seed placer, bit-for-bit. */
+    int chains = 1;
+    /** Moves per graph node between sync epochs (chains > 1). */
+    int epochMovesPerNode = 20;
+    /** A chain is killed at a barrier when its best cost exceeds the
+     *  leader's best by more than this relative margin. */
+    double killMargin = 0.15;
+    /** Cap on any chain's total move budget, as a multiple of the
+     *  single-chain schedule; bounds the parallel critical path. */
+    double maxBudgetFactor = 1.25;
+    /** Perturb chains > 0: temperature schedule and a short-range
+     *  move mix. Chain 0 is never perturbed. */
+    bool diversify = true;
+    /** Pool to fan chains out on; null runs them serially (results
+     *  are identical either way). Borrowed, may be in use — the
+     *  pool runs nested batches inline. */
+    TaskPool *pool = nullptr;
+    /** Optional per-epoch chain observability hook. Borrowed. */
+    TraceSink *trace = nullptr;
+};
+
+/** Per-chain outcome of one portfolio anneal. */
+struct PlacerChainStats
+{
+    std::uint64_t seed = 0;
+    std::uint64_t moves = 0;    ///< moves actually executed
+    std::uint64_t accepted = 0; ///< moves accepted (not reverted)
+    double finalCost = 0.0;     ///< cost of the chain's final state
+    double bestCost = 0.0;      ///< best epoch-boundary cost
+    int killedAtEpoch = -1;     ///< -1 when the chain survived
+    bool winner = false;
+};
+
+/** Aggregate outcome of one portfolio anneal. */
+struct PortfolioStats
+{
+    std::vector<PlacerChainStats> chains;
+    int epochs = 0;
+    int winnerChain = 0;
+    /** Exact placementCost() of the returned placement. */
+    double winnerCost = 0.0;
+};
+
 /** Tuning knobs for the annealer. */
 struct PlacerOptions
 {
@@ -65,6 +128,8 @@ struct PlacerOptions
     double memWeight = 4.0;
     /** Column preference within a domain (paper Sec. 5). */
     double columnPreference = 0.1;
+    /** Multi-chain portfolio configuration. */
+    PortfolioOptions portfolio;
 };
 
 /**
@@ -83,10 +148,16 @@ double placementCost(const Graph &graph, const Topology &topo,
 /**
  * Place every node of `graph` onto `topo`. The graph must fit (see
  * Topology::totalSlots); otherwise fatal(). The result is always
- * legal.
+ * legal: every surviving chain's placement is checked against the
+ * fabric constraints (and a killed chain can never win — see
+ * placement.cc). With `options.portfolio.chains == 1` this is the
+ * historical single-seed anneal, bit-for-bit; with more chains the
+ * best epoch-boundary snapshot of the deterministic winner is
+ * returned. `stats`, when given, receives per-chain outcomes.
  */
 Placement placeGraph(const Graph &graph, const Topology &topo,
-                     const PlacerOptions &options);
+                     const PlacerOptions &options,
+                     PortfolioStats *stats = nullptr);
 
 /**
  * The annealing objective's criticality weight for a memory node

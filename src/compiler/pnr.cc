@@ -24,7 +24,8 @@ placeAndRoute(Graph &graph, const Topology &topo, const PnrOptions &options)
         }
     }
 
-    result.placement = placeGraph(graph, topo, options.place);
+    result.placement =
+        placeGraph(graph, topo, options.place, &result.placerStats);
     result.route = routeGraph(graph, topo, result.placement,
                               options.route);
     if (!result.route.success) {

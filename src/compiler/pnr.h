@@ -36,6 +36,9 @@ struct PnrResult
     RouteResult route;
     TimingResult timing;
     CriticalityStats crit;
+    /** Per-chain annealing outcomes (one chain unless the placer ran
+     *  a portfolio; see PlacerOptions::portfolio). */
+    PortfolioStats placerStats;
 };
 
 /**

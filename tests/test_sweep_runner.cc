@@ -366,6 +366,85 @@ TEST(SweepRunnerTest, LaneBatchedSweepMatchesScalar)
     }
 }
 
+TEST(SweepRunnerTest, PnrChainsResolution)
+{
+    const char *argv1[] = {"bench", "--pnr-chains", "4"};
+    EXPECT_EQ(parseSweepArgs(3, const_cast<char **>(argv1)).pnrChains,
+              4);
+    const char *argv2[] = {"bench", "--pnr-chains=2"};
+    EXPECT_EQ(parseSweepArgs(2, const_cast<char **>(argv2)).pnrChains,
+              2);
+    // Default: the single-seed placer.
+    const char *argv3[] = {"bench"};
+    EXPECT_EQ(parseSweepArgs(1, const_cast<char **>(argv3)).pnrChains,
+              1);
+    // Zero, negative, and garbage counts are refused loudly.
+    const char *argv4[] = {"bench", "--pnr-chains", "0"};
+    EXPECT_THROW(parseSweepArgs(3, const_cast<char **>(argv4)),
+                 FatalError);
+    const char *argv5[] = {"bench", "--pnr-chains=-3"};
+    EXPECT_THROW(parseSweepArgs(2, const_cast<char **>(argv5)),
+                 FatalError);
+    const char *argv6[] = {"bench", "--pnr-chains", "many"};
+    EXPECT_THROW(parseSweepArgs(3, const_cast<char **>(argv6)),
+                 FatalError);
+    const char *argv7[] = {"bench", "--pnr-chains"};
+    EXPECT_THROW(parseSweepArgs(2, const_cast<char **>(argv7)),
+                 FatalError);
+}
+
+TEST(SweepRunnerTest, PnrEpochResolution)
+{
+    const char *argv1[] = {"bench", "--pnr-epoch", "10"};
+    EXPECT_EQ(parseSweepArgs(3, const_cast<char **>(argv1)).pnrEpoch,
+              10);
+    const char *argv2[] = {"bench", "--pnr-epoch=5"};
+    EXPECT_EQ(parseSweepArgs(2, const_cast<char **>(argv2)).pnrEpoch,
+              5);
+    // Default 0: defer to the placer's built-in epoch length.
+    const char *argv3[] = {"bench"};
+    EXPECT_EQ(parseSweepArgs(1, const_cast<char **>(argv3)).pnrEpoch,
+              0);
+    const char *argv4[] = {"bench", "--pnr-epoch", "0"};
+    EXPECT_THROW(parseSweepArgs(3, const_cast<char **>(argv4)),
+                 FatalError);
+    const char *argv5[] = {"bench", "--pnr-epoch=x"};
+    EXPECT_THROW(parseSweepArgs(2, const_cast<char **>(argv5)),
+                 FatalError);
+}
+
+TEST(TaskPoolTest, NestedRunAllRunsInlineKeepingWorkerId)
+{
+    // The portfolio placer fans chains out on the sweep pool from
+    // inside a compile task of that same pool: the nested batch must
+    // run inline (no deadlock) and keep the enclosing worker's id so
+    // per-worker arenas stay exclusive.
+    TaskPool pool(4);
+    std::atomic<int> inner_ran{0};
+    std::atomic<int> id_mismatches{0};
+    std::vector<std::function<void()>> outer;
+    for (int i = 0; i < 16; ++i) {
+        outer.push_back([&pool, &inner_ran, &id_mismatches]() {
+            int outer_id = TaskPool::currentWorker();
+            std::vector<std::function<void()>> inner;
+            for (int j = 0; j < 8; ++j) {
+                inner.push_back([&inner_ran, &id_mismatches,
+                                 outer_id]() {
+                    inner_ran.fetch_add(1, std::memory_order_relaxed);
+                    if (TaskPool::currentWorker() != outer_id)
+                        id_mismatches.fetch_add(
+                            1, std::memory_order_relaxed);
+                });
+            }
+            pool.runAll(std::move(inner));
+        });
+    }
+    pool.runAll(std::move(outer));
+    EXPECT_EQ(inner_ran.load(), 16 * 8);
+    EXPECT_EQ(id_mismatches.load(), 0);
+    EXPECT_EQ(TaskPool::currentWorker(), -1);
+}
+
 TEST(SweepRunnerTest, UnknownArgumentsAreFatal)
 {
     // A typo like `--job 8` must not silently run serial.
